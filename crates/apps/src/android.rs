@@ -1,0 +1,180 @@
+//! The Android permission model as it bears on local-network access (§2.1).
+//!
+//! * Since Android 13, reading the Wi-Fi SSID requires
+//!   `NEARBY_WIFI_DEVICES`; on Android 9–12 it required a location
+//!   permission. Both are **dangerous** (runtime-consent) permissions.
+//! * mDNS/SSDP scanning via `NsdManager` or raw multicast sockets needs
+//!   only `INTERNET` + `CHANGE_WIFI_MULTICAST_STATE`, **neither of which is
+//!   dangerous** — the side channel the paper's PoC app demonstrates.
+
+use core::fmt;
+
+/// Android permissions relevant to local-network data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Permission {
+    Internet,
+    ChangeWifiMulticastState,
+    AccessWifiState,
+    AccessCoarseLocation,
+    AccessFineLocation,
+    NearbyWifiDevices,
+}
+
+impl Permission {
+    /// Whether Android classifies the permission as "dangerous" (requires
+    /// explicit user consent at runtime).
+    pub fn is_dangerous(self) -> bool {
+        matches!(
+            self,
+            Permission::AccessCoarseLocation
+                | Permission::AccessFineLocation
+                | Permission::NearbyWifiDevices
+        )
+    }
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// APIs / channels an app can use to reach local-network data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AndroidApi {
+    /// `WifiInfo.getSSID()` — official, permission-gated.
+    GetSsid,
+    /// `WifiInfo.getBSSID()` — official, permission-gated (router MAC).
+    GetBssid,
+    /// `NsdManager` mDNS discovery — native support, NOT gated by any
+    /// dangerous permission.
+    NsdDiscoverMdns,
+    /// Raw multicast socket SSDP discovery — NOT gated.
+    SsdpSocket,
+    /// Raw UDP NetBIOS name scan — NOT gated.
+    NetBiosSocket,
+    /// ARP table reads / libarp.so — NOT gated (raw packet TX needs root,
+    /// which is why the paper can't attribute ARP to apps).
+    ArpTable,
+    /// The multicast lock needed before receiving multicast.
+    MulticastLock,
+}
+
+impl AndroidApi {
+    /// The permission the API *officially* requires on Android 13.
+    pub fn required_permission(self) -> Option<Permission> {
+        match self {
+            AndroidApi::GetSsid | AndroidApi::GetBssid => Some(Permission::NearbyWifiDevices),
+            AndroidApi::MulticastLock => Some(Permission::ChangeWifiMulticastState),
+            AndroidApi::NsdDiscoverMdns
+            | AndroidApi::SsdpSocket
+            | AndroidApi::NetBiosSocket
+            | AndroidApi::ArpTable => Some(Permission::Internet),
+        }
+    }
+
+    /// True when the API delivers data equivalent to a dangerous-permission
+    /// API without requiring one — the paper's side-channel definition.
+    pub fn is_side_channel(self) -> bool {
+        matches!(
+            self,
+            AndroidApi::NsdDiscoverMdns | AndroidApi::SsdpSocket | AndroidApi::NetBiosSocket
+        )
+    }
+}
+
+/// The outcome of an app attempting an API call under a permission set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Granted through the official path.
+    Granted,
+    /// Denied: the required dangerous permission is missing.
+    Denied,
+    /// Achieved the equivalent data via a non-dangerous side channel.
+    SideChannel,
+}
+
+/// Evaluate an API attempt: the §2.1 PoC logic.
+pub fn evaluate_access(api: AndroidApi, held: &[Permission]) -> AccessOutcome {
+    match api.required_permission() {
+        Some(required) if !held.contains(&required) => AccessOutcome::Denied,
+        _ => {
+            if api.is_side_channel() {
+                AccessOutcome::SideChannel
+            } else {
+                AccessOutcome::Granted
+            }
+        }
+    }
+}
+
+/// The non-dangerous permission set of the paper's PoC app — enough to
+/// enumerate the LAN.
+pub fn poc_permissions() -> Vec<Permission> {
+    vec![Permission::Internet, Permission::ChangeWifiMulticastState]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dangerous_classification() {
+        assert!(!Permission::Internet.is_dangerous());
+        assert!(!Permission::ChangeWifiMulticastState.is_dangerous());
+        assert!(Permission::NearbyWifiDevices.is_dangerous());
+        assert!(Permission::AccessFineLocation.is_dangerous());
+    }
+
+    #[test]
+    fn poc_app_can_scan_without_dangerous_permissions() {
+        // The §2.1 PoC: INTERNET + CHANGE_WIFI_MULTICAST_STATE suffice for
+        // mDNS and SSDP discovery…
+        let held = poc_permissions();
+        assert!(held.iter().all(|p| !p.is_dangerous()));
+        assert_eq!(
+            evaluate_access(AndroidApi::NsdDiscoverMdns, &held),
+            AccessOutcome::SideChannel
+        );
+        assert_eq!(
+            evaluate_access(AndroidApi::SsdpSocket, &held),
+            AccessOutcome::SideChannel
+        );
+        assert_eq!(
+            evaluate_access(AndroidApi::NetBiosSocket, &held),
+            AccessOutcome::SideChannel
+        );
+        // …while the official SSID/BSSID APIs stay closed.
+        assert_eq!(
+            evaluate_access(AndroidApi::GetSsid, &held),
+            AccessOutcome::Denied
+        );
+        assert_eq!(
+            evaluate_access(AndroidApi::GetBssid, &held),
+            AccessOutcome::Denied
+        );
+    }
+
+    #[test]
+    fn official_path_with_consent() {
+        let held = vec![Permission::Internet, Permission::NearbyWifiDevices];
+        assert_eq!(
+            evaluate_access(AndroidApi::GetSsid, &held),
+            AccessOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn multicast_lock_not_dangerous_but_required() {
+        let held = vec![Permission::Internet];
+        assert_eq!(
+            evaluate_access(AndroidApi::MulticastLock, &held),
+            AccessOutcome::Denied
+        );
+        let held = poc_permissions();
+        assert_eq!(
+            evaluate_access(AndroidApi::MulticastLock, &held),
+            AccessOutcome::Granted
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # iotlan-apps
+//!
+//! The mobile-app side of the paper: a simulated Android runtime with the
+//! real permission-model semantics (§2.1), a 2,335-app population (987 IoT
+//! companion + 1,348 regular apps, §3.2), models of the named data-harvesting
+//! SDKs (§6.2), a Monkey-style exerciser, and AppCensus-style runtime
+//! instrumentation that logs permission-protected API access and decrypted
+//! exfiltration flows with taint tracking from LAN-harvested data to cloud
+//! endpoints (§6.1).
+//!
+//! The central finding this crate reproduces: apps can scan the home
+//! network with mDNS/SSDP (via `NsdManager`-style side channels) holding
+//! only `INTERNET` and `CHANGE_WIFI_MULTICAST_STATE` — neither of which is
+//! a "dangerous" permission — and exfiltrate the identifiers they harvest,
+//! bypassing the location/nearby-devices permissions that official APIs
+//! require.
+
+pub mod android;
+pub mod app;
+pub mod appcensus;
+pub mod phone;
+pub mod sdk;
+
+pub use android::{AndroidApi, Permission};
+pub use app::{build_population, named_apps, AppBehavior, AppCategory, AppConfig};
+pub use appcensus::{AppCensusReport, DataType, ExfilRecord, TestRun};
+pub use phone::Phone;
+pub use sdk::SdkKind;

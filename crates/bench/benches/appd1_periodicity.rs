@@ -1,0 +1,23 @@
+//! Appendix D.1: DFT+autocorrelation periodicity of discovery traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_bench::bench_lab;
+use iotlan_core::analysis::periodicity;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let appd1 = experiments::appd1_periodicity(&lab);
+    println!("{}", appd1.render());
+    let table = lab.flow_table();
+    c.bench_function("appd1/periodicity_analysis", |b| {
+        b.iter(|| periodicity::analyze_periodicity(&table))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 1: the device-to-device transport graph (unicast TCP/UDP edges
+//! among the 93 devices; paper: 43/93 devices have a local peer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_bench::bench_lab;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let fig1 = experiments::fig1_device_graph(&lab);
+    println!("{}", fig1.render());
+    let table = lab.flow_table();
+    c.bench_function("fig1/build_graph", |b| {
+        b.iter(|| iotlan_core::analysis::graph::build_graph(&table, &lab.catalog))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

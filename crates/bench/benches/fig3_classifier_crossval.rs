@@ -1,0 +1,23 @@
+//! Figure 3 / Appendix C.2: nDPI-vs-tshark cross-validation heatmap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_bench::bench_lab;
+use iotlan_core::classify::crossval;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let fig3 = experiments::fig3_crossval(&lab);
+    println!("{}", fig3.render());
+    let table = lab.flow_table();
+    c.bench_function("fig3/cross_validate", |b| {
+        b.iter(|| crossval::cross_validate(&table))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 4: the Google/Amazon/Apple intra-vendor clusters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_bench::bench_lab;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let fig4 = experiments::fig4_vendor_clusters(&lab);
+    println!("{}", fig4.render());
+    let table = lab.flow_table();
+    let graph = iotlan_core::analysis::graph::build_graph(&table, &lab.catalog);
+    c.bench_function("fig4/vendor_cluster_extraction", |b| {
+        b.iter(|| {
+            (
+                graph.vendor_cluster(&lab.catalog, "Google"),
+                graph.vendor_cluster(&lab.catalog, "Amazon"),
+                graph.vendor_cluster(&lab.catalog, "Apple"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Performance: flow assembly and classification throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iotlan_bench::small_lab;
+use iotlan_core::classify::rules::{classify_with_rules, paper_rules};
+use iotlan_core::classify::{truth, FlowTable};
+
+fn bench(c: &mut Criterion) {
+    let lab = small_lab();
+    let capture = &lab.network.capture;
+    let mut group = c.benchmark_group("perf_classify");
+    group.throughput(Throughput::Elements(capture.len() as u64));
+    group.bench_function("flow_assembly", |b| {
+        b.iter(|| FlowTable::from_capture(capture))
+    });
+    let table = FlowTable::from_capture(capture);
+    let rules = paper_rules();
+    group.throughput(Throughput::Elements(table.len() as u64));
+    group.bench_function("ndpi_with_rules", |b| {
+        b.iter(|| {
+            table
+                .flows
+                .iter()
+                .map(|f| classify_with_rules(f, &rules))
+                .count()
+        })
+    });
+    group.bench_function("ground_truth", |b| {
+        b.iter(|| table.flows.iter().map(truth::label_flow).count())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Performance: simulator throughput (simulated seconds per wall second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_core::netsim::SimDuration;
+use iotlan_core::{Lab, LabConfig};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("netsim/testbed_minute", |b| {
+        b.iter_with_setup(
+            || {
+                let mut lab = Lab::new(LabConfig {
+                    seed: 42,
+                    idle_duration: SimDuration::from_secs(10),
+                    interactions: 0,
+                    with_honeypot: false,
+                });
+                lab.run_idle(); // warm-up: DHCP joins etc.
+                lab
+            },
+            |mut lab| {
+                lab.network.run_for(SimDuration::from_mins(1));
+                lab
+            },
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! §4.2: the nmap-style sweeps (TCP 1–65535, UDP 1–1024, IP-protocol).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_core::devices::build_testbed;
+use iotlan_core::experiments;
+use iotlan_core::scan::portscan;
+use iotlan_core::scan::service;
+
+fn bench(c: &mut Criterion) {
+    let catalog = build_testbed();
+    let sec42 = experiments::sec42_active_scans(&catalog);
+    println!("{}", sec42.render());
+    // Service-identification error rate (the §3.5 nmap mislabels).
+    let mut total = 0usize;
+    let mut mislabeled = 0usize;
+    for device in &catalog.devices {
+        for port in &device.open_tcp {
+            let id = service::identify(port.port, false, &port.service);
+            total += 1;
+            if service::was_mislabeled(&id) {
+                mislabeled += 1;
+            }
+        }
+    }
+    println!(
+        "nmap port-table service inference: {mislabeled}/{total} open TCP services mislabeled ({:.0}%)",
+        100.0 * mislabeled as f64 / total.max(1) as f64
+    );
+    c.bench_function("sec42/full_catalog_scan", |b| {
+        b.iter(|| portscan::scan_catalog(&catalog))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! §5.1: discovery-protocol usage and DHCP identifier-exposure statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_bench::bench_lab;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let sec51 = experiments::sec51_discovery_stats(&lab);
+    println!("{}", sec51.render());
+    c.bench_function("sec51/discovery_stats", |b| {
+        b.iter(|| experiments::sec51_discovery_stats(&lab))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! §5.2: the Nessus-style vulnerability findings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_core::devices::build_testbed;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let catalog = build_testbed();
+    let findings = experiments::sec52_vulnerabilities(&catalog);
+    println!("== §5.2 — vulnerability findings ({} devices affected) ==", findings.len());
+    for (device, device_findings) in findings.iter().take(12) {
+        for finding in device_findings {
+            println!(
+                "{device}: [{:?}] {} {}",
+                finding.severity,
+                finding.cve.unwrap_or("-"),
+                finding.description
+            );
+        }
+    }
+    println!("(truncated; {} devices total)", findings.len());
+    c.bench_function("sec52/vuln_scan", |b| {
+        b.iter(|| experiments::sec52_vulnerabilities(&catalog))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 1: information exposure per discovery protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_bench::bench_lab;
+use iotlan_core::analysis::exposure;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let matrix = experiments::table1_exposure(&lab);
+    println!("== Table 1 — information exposure per discovery protocol ==");
+    println!("{}", matrix.render());
+    let table = lab.flow_table();
+    c.bench_function("table1/exposure_matrix", |b| {
+        b.iter(|| exposure::exposure_matrix(&table))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table 2: household fingerprintability entropy over the synthetic
+//! IoT Inspector dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_core::experiments;
+use iotlan_core::inspector::{dataset, entropy};
+
+fn bench(c: &mut Criterion) {
+    let table2 = experiments::table2_entropy(0x1077_1a6);
+    println!("{}", table2.render());
+    let data = dataset::generate(&dataset::GeneratorConfig::default());
+    c.bench_function("table2/entropy_analysis", |b| {
+        b.iter(|| entropy::analyze(&data))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 3: the 93-device testbed inventory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_core::devices::build_testbed;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let catalog = build_testbed();
+    println!("{}", experiments::table3_inventory(&catalog));
+    c.bench_function("table3/build_testbed", |b| b.iter(build_testbed));
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

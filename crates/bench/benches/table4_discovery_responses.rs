@@ -1,0 +1,25 @@
+//! Table 4: discovery protocols and responses per device category.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_bench::bench_lab;
+use iotlan_core::analysis::responses;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let rows = experiments::table4_responses(&lab);
+    println!("== Table 4 — discovery protocols and responses ==");
+    println!("paper: Echo 3.65 disc / 1.82 resp / 9.47 devices; Google 4.0/3.0/5.14");
+    println!("{}", responses::render(&rows));
+    let table = lab.flow_table();
+    c.bench_function("table4/discovery_responses", |b| {
+        b.iter(|| responses::discovery_responses(&table, &lab.catalog))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 5: identifier-bearing payload examples from the capture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_bench::bench_lab;
+use iotlan_core::analysis::payloads;
+use iotlan_core::experiments;
+
+fn bench(c: &mut Criterion) {
+    let lab = bench_lab();
+    let examples = experiments::table5_payloads(&lab);
+    println!("== Table 5 — payload examples ==");
+    for example in &examples {
+        println!("--- {} ---\n{}", example.protocol, example.rendered);
+    }
+    let table = lab.flow_table();
+    c.bench_function("table5/payload_extraction", |b| {
+        b.iter(|| payloads::payload_examples(&table))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = iotlan_bench::bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared setup for the experiment benches.
+//!
+//! Every bench target regenerates its table/figure (printing the
+//! paper-vs-measured block once) and then Criterion-measures the underlying
+//! computation on the same data. One bench process = one lab build.
+
+use iotlan_core::{Lab, LabConfig};
+use iotlan_core::netsim::SimDuration;
+
+/// The idle-capture scale used by the figure/table benches: long enough
+/// for every periodic behaviour except the daily ARP sweep to fire many
+/// times, short enough to keep bench turnaround reasonable.
+pub fn bench_lab() -> Lab {
+    let mut lab = Lab::new(LabConfig {
+        seed: 42,
+        idle_duration: SimDuration::from_hours(2),
+        interactions: 200,
+        with_honeypot: true,
+    });
+    lab.run_idle();
+    lab.run_interactions(SimDuration::from_mins(10));
+    lab
+}
+
+/// A smaller lab for the heavier per-iteration measurements.
+pub fn small_lab() -> Lab {
+    let mut lab = Lab::new(LabConfig::fast());
+    lab.run_idle();
+    lab
+}
+
+/// Criterion config used across benches: few samples, the computations are
+/// deterministic and not micro-scale.
+#[macro_export]
+macro_rules! bench_config {
+    () => {
+        criterion::Criterion::default()
+            .sample_size(10)
+            .configure_from_args()
+    };
+}

@@ -1,0 +1,158 @@
+//! Property tests for the classification stack: no classifier may panic on
+//! arbitrary traffic, the manual rules never *introduce* errors on clean
+//! protocols, and flow assembly is insensitive to frame order for
+//! order-free aggregates.
+
+use iotlan_classify::flow::FlowTable;
+use iotlan_classify::rules::{classify_with_rules, paper_rules};
+use iotlan_classify::{crossval, ndpi, truth, tshark};
+use iotlan_netsim::stack::{self, Endpoint};
+use iotlan_netsim::SimTime;
+use iotlan_wire::ethernet::EthernetAddress;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn ep(last: u8) -> Endpoint {
+    Endpoint {
+        mac: EthernetAddress([2, 0, 0, 0, 0, last.max(1)]),
+        ip: Ipv4Addr::new(192, 168, 10, last.max(1)),
+    }
+}
+
+proptest! {
+    /// Arbitrary UDP payloads to arbitrary ports: every classifier returns
+    /// a label, none panics, and they never disagree about the L2/L3 class.
+    #[test]
+    fn classifiers_total_on_random_udp(
+        src in 1u8..250,
+        dst in 1u8..250,
+        sport in 1u16..65535,
+        dport in 1u16..65535,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut table = FlowTable::default();
+        table.add_frame(
+            SimTime::ZERO,
+            &stack::udp_unicast(ep(src), ep(dst), sport, dport, &payload),
+        );
+        let rules = paper_rules();
+        for flow in &table.flows {
+            let t = truth::label_flow(flow);
+            let n = ndpi::classify(flow);
+            let s = tshark::classify(flow);
+            let r = classify_with_rules(flow, &rules);
+            prop_assert!(!t.is_empty() && !n.is_empty() && !s.is_empty() && !r.is_empty());
+        }
+    }
+
+    /// Random TCP payloads: same totality property.
+    #[test]
+    fn classifiers_total_on_random_tcp(
+        sport in 1u16..65535,
+        dport in 1u16..65535,
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut table = FlowTable::default();
+        table.add_frame(
+            SimTime::ZERO,
+            &stack::tcp_segment(
+                ep(1),
+                ep(2),
+                &iotlan_wire::tcp::Repr::data(sport, dport, 1, 1, payload.len()),
+                &payload,
+            ),
+        );
+        let rules = paper_rules();
+        for flow in &table.flows {
+            let _ = truth::label_flow(flow);
+            let _ = ndpi::classify(flow);
+            let _ = tshark::classify(flow);
+            let _ = classify_with_rules(flow, &rules);
+        }
+    }
+
+    /// On well-formed mDNS traffic, the manual rules never change a correct
+    /// nDPI answer (the overlay only corrects documented errors).
+    #[test]
+    fn rules_preserve_correct_mdns(names in proptest::collection::vec("[a-z]{1,10}", 1..3)) {
+        let questions: Vec<(&str, iotlan_wire::dns::RecordType)> = names
+            .iter()
+            .map(|n| (n.as_str(), iotlan_wire::dns::RecordType::Ptr))
+            .collect();
+        let query = iotlan_wire::dns::Message::mdns_query(&questions);
+        let mut table = FlowTable::default();
+        table.add_frame(
+            SimTime::ZERO,
+            &stack::udp_multicast(
+                ep(1),
+                Ipv4Addr::new(224, 0, 0, 251),
+                5353,
+                5353,
+                &query.to_bytes(),
+            ),
+        );
+        let rules = paper_rules();
+        let flow = &table.flows[0];
+        prop_assert_eq!(ndpi::classify(flow), "mDNS");
+        prop_assert_eq!(classify_with_rules(flow, &rules), "mDNS");
+    }
+
+    /// Flow aggregates (count, total packets) are invariant under frame
+    /// reordering.
+    #[test]
+    fn flow_aggregates_order_invariant(seed in 0u64..1000) {
+        let mut frames = Vec::new();
+        for i in 0..20u8 {
+            frames.push(stack::udp_unicast(
+                ep(1 + i % 3),
+                ep(10 + i % 2),
+                1000 + u16::from(i % 4),
+                53,
+                &[i; 8],
+            ));
+        }
+        let mut forward = FlowTable::default();
+        for (i, frame) in frames.iter().enumerate() {
+            forward.add_frame(SimTime::from_secs(i as u64), frame);
+        }
+        // Deterministic shuffle from the seed.
+        let mut shuffled = frames.clone();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut backward = FlowTable::default();
+        for (i, frame) in shuffled.iter().enumerate() {
+            backward.add_frame(SimTime::from_secs(i as u64), frame);
+        }
+        prop_assert_eq!(forward.len(), backward.len());
+        prop_assert_eq!(forward.total_packets(), backward.total_packets());
+    }
+
+    /// Cross-validation statistics are well-formed for any traffic mix:
+    /// fractions in [0,1] and labeled+unlabeled consistent.
+    #[test]
+    fn crossval_fractions_well_formed(
+        frames in proptest::collection::vec(
+            (1u8..250, 1u8..250, 1u16..65535, 1u16..65535, proptest::collection::vec(any::<u8>(), 0..64)),
+            1..30,
+        )
+    ) {
+        let mut table = FlowTable::default();
+        for (i, (src, dst, sport, dport, payload)) in frames.iter().enumerate() {
+            table.add_frame(
+                SimTime::from_secs(i as u64),
+                &stack::udp_unicast(ep(*src), ep(*dst), *sport, *dport, payload),
+            );
+        }
+        let cv = crossval::cross_validate(&table);
+        let a = cv.agreement;
+        for fraction in [a.tshark_labeled, a.ndpi_labeled, a.disagree, a.neither] {
+            prop_assert!((0.0..=1.0).contains(&fraction), "{fraction}");
+        }
+        prop_assert_eq!(a.total_flows as usize, table.len());
+        prop_assert_eq!(cv.matrix.total as usize, table.len());
+    }
+}

@@ -1,0 +1,27 @@
+//! # iotlan-devices
+//!
+//! Behavioural models of the 93 IP-based consumer IoT devices in the
+//! MonIoTr Lab testbed (Table 3 of the paper), plus the framework that runs
+//! them on an [`iotlan_netsim::Network`].
+//!
+//! Each device is a [`config::DeviceConfig`] — a declarative description of
+//! its identity (MAC, IP, hostnames, UUIDs, display names), its protocol
+//! stack (which discovery protocols it speaks and at what cadence), its
+//! open services (the nmap/Nessus attack surface) and its known
+//! vulnerabilities — executed by the generic [`device::Device`] node.
+//! The vendor-family constructors in [`catalog`] encode every observation
+//! §4 and §5 report: Echo's daily ARP sweeps and LIFX probes, Google's
+//! 20-second SSDP cadence and small-key TLS on port 8009, Apple's TLSv1.3
+//! and SheerDNS, TP-Link's plaintext geolocation, Tuya's gwId broadcasts,
+//! Hue's MAC-bearing mDNS hostnames, Roku's possessive display names, the
+//! Fire TV /16 misconfiguration, the Lefun/Microseven camera services, and
+//! so on.
+
+pub mod catalog;
+pub mod config;
+pub mod device;
+pub mod services;
+
+pub use catalog::{build_testbed, Catalog};
+pub use config::{Category, DeviceConfig};
+pub use device::Device;

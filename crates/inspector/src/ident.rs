@@ -1,0 +1,238 @@
+//! The §6.3 identifier extractors over mDNS/SSDP payload text:
+//!
+//! 1. **Names** — "an English word followed by an apostrophe, 's', space,
+//!    and another word" (the `Roku 3 - REDACTED's Room` pattern);
+//! 2. **UUIDs** — the standard 8-4-4-4-12 pattern (RFC 4122);
+//! 3. **MAC addresses** — "with and without ':' and '-'", filtered by
+//!    checking the candidate against the device's OUI "to reduce false
+//!    positives".
+//!
+//! Hand-rolled matchers (no regex dependency), case-insensitive where the
+//! wire formats are.
+
+/// A possessive-name match.
+pub fn extract_names(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_alphabetic() {
+            let start = i;
+            while i < chars.len() && chars[i].is_alphanumeric() {
+                i += 1;
+            }
+            // word + ' + s + space + word
+            if i + 3 < chars.len()
+                && chars[i] == '\''
+                && (chars[i + 1] == 's' || chars[i + 1] == 'S')
+                && chars[i + 2] == ' '
+                && chars[i + 3].is_alphabetic()
+            {
+                let mut j = i + 3;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == ' ') {
+                    j += 1;
+                }
+                out.push(chars[start..j].iter().collect::<String>().trim_end().to_string());
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// UUID matches (8-4-4-4-12 hex with dashes).
+pub fn extract_uuids(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let segments = [8usize, 4, 4, 4, 12];
+    const TOTAL: usize = 36;
+    let mut i = 0;
+    'outer: while i + TOTAL <= bytes.len() {
+        // Avoid matching inside a longer hex run.
+        if i > 0 && bytes[i - 1].is_ascii_hexdigit() {
+            i += 1;
+            continue;
+        }
+        let window = &bytes[i..i + TOTAL];
+        let mut pos = 0;
+        for (index, &len) in segments.iter().enumerate() {
+            for _ in 0..len {
+                if !window[pos].is_ascii_hexdigit() {
+                    i += 1;
+                    continue 'outer;
+                }
+                pos += 1;
+            }
+            if index < 4 {
+                if window[pos] != b'-' {
+                    i += 1;
+                    continue 'outer;
+                }
+                pos += 1;
+            }
+        }
+        out.push(String::from_utf8_lossy(window).to_lowercase());
+        i += TOTAL;
+    }
+    out
+}
+
+/// MAC-address candidates in three syntaxes: `aa:bb:cc:dd:ee:ff`,
+/// `aa-bb-cc-dd-ee-ff`, and the bare 12-hex-digit form. The bare form is
+/// noisy, so [`extract_macs_with_oui`] filters by the known OUI.
+pub fn extract_mac_candidates(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if let Some((mac, advance)) = match_separated(bytes, i, b':')
+            .or_else(|| match_separated(bytes, i, b'-'))
+        {
+            out.push(mac);
+            i += advance;
+            continue;
+        }
+        if let Some((mac, advance)) = match_bare(bytes, i) {
+            out.push(mac);
+            i += advance;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn match_separated(bytes: &[u8], i: usize, sep: u8) -> Option<(String, usize)> {
+    if i + 17 > bytes.len() {
+        return None;
+    }
+    let window = &bytes[i..i + 17];
+    for (j, &b) in window.iter().enumerate() {
+        if j % 3 == 2 {
+            if b != sep {
+                return None;
+            }
+        } else if !b.is_ascii_hexdigit() {
+            return None;
+        }
+    }
+    let normalized: String = window
+        .iter()
+        .filter(|&&b| b != sep)
+        .map(|&b| (b as char).to_ascii_lowercase())
+        .collect();
+    Some((normalized, 17))
+}
+
+fn match_bare(bytes: &[u8], i: usize) -> Option<(String, usize)> {
+    if i + 12 > bytes.len() {
+        return None;
+    }
+    // Must be exactly 12 hex digits with non-hex (or boundary) on each side.
+    if i > 0 && bytes[i - 1].is_ascii_hexdigit() {
+        return None;
+    }
+    let window = &bytes[i..i + 12];
+    if !window.iter().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    if i + 12 < bytes.len() && bytes[i + 12].is_ascii_hexdigit() {
+        return None;
+    }
+    // Require at least one decimal digit: pure alphabetic 12-char strings
+    // ("thermostatic") are words, not MACs.
+    if !window.iter().any(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((
+        window.iter().map(|&b| (b as char).to_ascii_lowercase()).collect(),
+        12,
+    ))
+}
+
+/// The paper's false-positive filter: keep candidates whose first six hex
+/// digits match the OUI that IoT Inspector recorded for the device.
+pub fn extract_macs_with_oui(text: &str, device_oui: &str) -> Vec<String> {
+    let oui = device_oui.to_lowercase().replace([':', '-'], "");
+    extract_mac_candidates(text)
+        .into_iter()
+        .filter(|mac| mac.starts_with(&oui))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_from_table2_examples() {
+        assert_eq!(
+            extract_names("Roku 3 - Danny's Room"),
+            vec!["Danny's Room"]
+        );
+        assert_eq!(
+            extract_names("name=\"Alice's Roku Express\" x"),
+            vec!["Alice's Roku Express"]
+        );
+        assert!(extract_names("no possessives here").is_empty());
+        // Bare apostrophe without 's' is not a possessive.
+        assert!(extract_names("devices' room").is_empty());
+    }
+
+    #[test]
+    fn uuids() {
+        let text = "USN: uuid:2f402f80-da50-11e1-9b23-001788685f61::upnp:rootdevice";
+        assert_eq!(
+            extract_uuids(text),
+            vec!["2f402f80-da50-11e1-9b23-001788685f61"]
+        );
+        assert!(extract_uuids("2f402f80-da50-11e1-9b23").is_empty());
+        // Uppercase normalizes to lowercase.
+        assert_eq!(
+            extract_uuids("ABCDEF01-2345-6789-ABCD-EF0123456789"),
+            vec!["abcdef01-2345-6789-abcd-ef0123456789"]
+        );
+    }
+
+    #[test]
+    fn mac_syntaxes() {
+        let colon = extract_mac_candidates("mac=00:17:88:68:5F:61;");
+        assert_eq!(colon, vec!["001788685f61"]);
+        let dash = extract_mac_candidates("serial 9C-8E-CD-0A-33-1B end");
+        assert_eq!(dash, vec!["9c8ecd0a331b"]);
+        let bare = extract_mac_candidates("bridgeid=001788685f61 ");
+        assert_eq!(bare, vec!["001788685f61"]);
+    }
+
+    #[test]
+    fn bare_needs_digit_and_boundaries() {
+        assert!(extract_mac_candidates("thermostatic").is_empty()); // no digit
+        assert!(extract_mac_candidates("001788685f612").is_empty()); // 13 hex
+        assert!(extract_mac_candidates("x001788685f61").len() == 1); // 'x' boundary
+    }
+
+    #[test]
+    fn oui_filter() {
+        let text = "bridgeid=001788685f61 session=deadbeef1234";
+        // Philips OUI 001788: only the bridge id survives.
+        assert_eq!(
+            extract_macs_with_oui(text, "00:17:88"),
+            vec!["001788685f61"]
+        );
+        // Wrong OUI: nothing survives.
+        assert!(extract_macs_with_oui(text, "b0:a7:37").is_empty());
+    }
+
+    #[test]
+    fn multiple_identifiers_in_one_payload() {
+        // The Table 5 SSDP example: friendlyName serial + MAC + UUID.
+        let payload = "<friendlyName>AMC020SC43PJ749D66</friendlyName>\
+                       <serialNumber>9c:8e:cd:0a:33:1b</serialNumber>\
+                       <UDN>uuid:deadbeef-9c8e-4d0a-b31b-9c8ecd0a331b</UDN>";
+        let macs = extract_macs_with_oui(payload, "9c:8e:cd");
+        assert!(macs.contains(&"9c8ecd0a331b".to_string()));
+        assert_eq!(extract_uuids(payload).len(), 1);
+    }
+}

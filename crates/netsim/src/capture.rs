@@ -1,0 +1,167 @@
+//! The AP capture tap.
+//!
+//! The MonIoTr AP "captures all network tra�c utilizing tcpdump … stored in
+//! separate �les for each MAC address" (§3.1). [`Capture`] is that tap: it
+//! records every frame crossing the medium with its timestamp and offers
+//! per-MAC views and pcap export.
+
+use crate::time::SimTime;
+use iotlan_wire::ethernet::{EthernetAddress, Frame};
+use iotlan_wire::pcap::{write_pcap, PcapPacket};
+
+/// One frame seen at the AP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedFrame {
+    pub time: SimTime,
+    pub data: Vec<u8>,
+}
+
+impl CapturedFrame {
+    /// Source MAC (frames shorter than an Ethernet header never enter the
+    /// capture, so this cannot fail).
+    pub fn src_mac(&self) -> EthernetAddress {
+        Frame::new_unchecked(&self.data[..]).src_addr()
+    }
+
+    /// Destination MAC.
+    pub fn dst_mac(&self) -> EthernetAddress {
+        Frame::new_unchecked(&self.data[..]).dst_addr()
+    }
+}
+
+/// The full promiscuous capture at the AP.
+#[derive(Debug, Default, Clone)]
+pub struct Capture {
+    frames: Vec<CapturedFrame>,
+}
+
+impl Capture {
+    pub fn new() -> Capture {
+        Capture::default()
+    }
+
+    pub(crate) fn record(&mut self, time: SimTime, data: &[u8]) {
+        self.frames.push(CapturedFrame {
+            time,
+            data: data.to_vec(),
+        });
+    }
+
+    /// All captured frames, in time order.
+    pub fn frames(&self) -> &[CapturedFrame] {
+        &self.frames
+    }
+
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The per-MAC split of §3.1: frames sent *or* received by `mac`.
+    pub fn for_mac(&self, mac: EthernetAddress) -> Vec<&CapturedFrame> {
+        self.frames
+            .iter()
+            .filter(|f| f.src_mac() == mac || f.dst_mac() == mac)
+            .collect()
+    }
+
+    /// Frames *sent* by `mac` only.
+    pub fn sent_by(&self, mac: EthernetAddress) -> Vec<&CapturedFrame> {
+        self.frames.iter().filter(|f| f.src_mac() == mac).collect()
+    }
+
+    /// All distinct source MACs seen.
+    pub fn source_macs(&self) -> Vec<EthernetAddress> {
+        let mut macs: Vec<EthernetAddress> = self.frames.iter().map(|f| f.src_mac()).collect();
+        macs.sort();
+        macs.dedup();
+        macs
+    }
+
+    /// Export the whole capture as a pcap file image.
+    pub fn to_pcap(&self) -> Vec<u8> {
+        self.to_pcap_filtered(|_| true)
+    }
+
+    /// Export the per-MAC capture file for `mac`.
+    pub fn to_pcap_for_mac(&self, mac: EthernetAddress) -> Vec<u8> {
+        self.to_pcap_filtered(|f| f.src_mac() == mac || f.dst_mac() == mac)
+    }
+
+    fn to_pcap_filtered(&self, keep: impl Fn(&CapturedFrame) -> bool) -> Vec<u8> {
+        let packets: Vec<PcapPacket> = self
+            .frames
+            .iter()
+            .filter(|f| keep(f))
+            .map(|f| {
+                let (ts_sec, ts_usec) = f.time.split();
+                PcapPacket {
+                    ts_sec,
+                    ts_usec,
+                    data: f.data.clone(),
+                }
+            })
+            .collect();
+        write_pcap(&packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotlan_wire::ethernet::{build_frame, EtherType, Repr};
+    use iotlan_wire::pcap::read_pcap;
+
+    fn frame(src: u8, dst: u8) -> Vec<u8> {
+        build_frame(
+            &Repr {
+                src_addr: EthernetAddress([2, 0, 0, 0, 0, src]),
+                dst_addr: if dst == 0xff {
+                    EthernetAddress::BROADCAST
+                } else {
+                    EthernetAddress([2, 0, 0, 0, 0, dst])
+                },
+                ethertype: EtherType::Ipv4,
+            },
+            &[0u8; 10],
+        )
+    }
+
+    #[test]
+    fn per_mac_split() {
+        let mut capture = Capture::new();
+        capture.record(SimTime::from_secs(1), &frame(1, 2));
+        capture.record(SimTime::from_secs(2), &frame(2, 1));
+        capture.record(SimTime::from_secs(3), &frame(3, 0xff));
+        let mac1 = EthernetAddress([2, 0, 0, 0, 0, 1]);
+        assert_eq!(capture.for_mac(mac1).len(), 2);
+        assert_eq!(capture.sent_by(mac1).len(), 1);
+        assert_eq!(capture.source_macs().len(), 3);
+    }
+
+    #[test]
+    fn pcap_export_roundtrip() {
+        let mut capture = Capture::new();
+        capture.record(SimTime::from_secs(1), &frame(1, 2));
+        capture.record(SimTime(1_500_000), &frame(2, 1));
+        let image = capture.to_pcap();
+        let packets = read_pcap(&image).unwrap();
+        assert_eq!(packets.len(), 2);
+        assert_eq!(packets[0].ts_sec, 1);
+        assert_eq!(packets[1].ts_usec, 500_000);
+        assert_eq!(packets[0].data, capture.frames()[0].data);
+    }
+
+    #[test]
+    fn per_mac_pcap() {
+        let mut capture = Capture::new();
+        capture.record(SimTime::ZERO, &frame(1, 2));
+        capture.record(SimTime::ZERO, &frame(3, 4));
+        let mac1 = EthernetAddress([2, 0, 0, 0, 0, 1]);
+        let packets = read_pcap(&capture.to_pcap_for_mac(mac1)).unwrap();
+        assert_eq!(packets.len(), 1);
+    }
+}

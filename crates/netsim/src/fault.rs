@@ -1,0 +1,139 @@
+//! Fault injection, after the smoltcp example suite: random drops, random
+//! single-octet corruption, and a size limit. Used by the robustness tests
+//! to prove the analysis pipeline survives adverse captures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration and state for the fault injector. A `chance` of 0.15 means
+/// 15%, the starting value the smoltcp README recommends.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    pub drop_chance: f64,
+    pub corrupt_chance: f64,
+    /// Frames longer than this are dropped (None = unlimited).
+    pub size_limit: Option<usize>,
+    rng: StdRng,
+    dropped: u64,
+    corrupted: u64,
+}
+
+/// The injector's verdict for one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    Deliver(Vec<u8>),
+    Drop,
+}
+
+impl FaultInjector {
+    /// A pass-through injector (no faults).
+    pub fn none() -> FaultInjector {
+        FaultInjector::new(0.0, 0.0, None, 0)
+    }
+
+    pub fn new(
+        drop_chance: f64,
+        corrupt_chance: f64,
+        size_limit: Option<usize>,
+        seed: u64,
+    ) -> FaultInjector {
+        FaultInjector {
+            drop_chance,
+            corrupt_chance,
+            size_limit,
+            rng: StdRng::seed_from_u64(seed),
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Apply the configured faults to one frame.
+    pub fn apply(&mut self, frame: &[u8]) -> Verdict {
+        if let Some(limit) = self.size_limit {
+            if frame.len() > limit {
+                self.dropped += 1;
+                return Verdict::Drop;
+            }
+        }
+        if self.drop_chance > 0.0 && self.rng.gen_bool(self.drop_chance.min(1.0)) {
+            self.dropped += 1;
+            return Verdict::Drop;
+        }
+        let mut data = frame.to_vec();
+        if self.corrupt_chance > 0.0 && self.rng.gen_bool(self.corrupt_chance.min(1.0)) {
+            if !data.is_empty() {
+                let index = self.rng.gen_range(0..data.len());
+                // Flip a random nonzero pattern so the byte always changes.
+                let mask = self.rng.gen_range(1..=255u8);
+                data[index] ^= mask;
+                self.corrupted += 1;
+            }
+        }
+        Verdict::Deliver(data)
+    }
+
+    /// Frames dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_by_default() {
+        let mut injector = FaultInjector::none();
+        let frame = vec![1, 2, 3];
+        assert_eq!(injector.apply(&frame), Verdict::Deliver(frame));
+        assert_eq!(injector.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_chance_one_drops_all() {
+        let mut injector = FaultInjector::new(1.0, 0.0, None, 7);
+        for _ in 0..10 {
+            assert_eq!(injector.apply(&[0u8; 4]), Verdict::Drop);
+        }
+        assert_eq!(injector.dropped(), 10);
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_byte() {
+        let mut injector = FaultInjector::new(0.0, 1.0, None, 7);
+        let frame = vec![0u8; 64];
+        match injector.apply(&frame) {
+            Verdict::Deliver(data) => {
+                let diffs = data.iter().zip(&frame).filter(|(a, b)| a != b).count();
+                assert_eq!(diffs, 1);
+            }
+            Verdict::Drop => panic!("should deliver"),
+        }
+        assert_eq!(injector.corrupted(), 1);
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let mut injector = FaultInjector::new(0.0, 0.0, Some(10), 0);
+        assert_eq!(injector.apply(&[0u8; 11]), Verdict::Drop);
+        assert!(matches!(injector.apply(&[0u8; 10]), Verdict::Deliver(_)));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let run = |seed| {
+            let mut injector = FaultInjector::new(0.5, 0.5, None, seed);
+            (0..100)
+                .map(|i| matches!(injector.apply(&[i as u8; 16]), Verdict::Drop))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

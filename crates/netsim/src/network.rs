@@ -1,0 +1,579 @@
+//! The event-driven LAN medium: clock, event queue, node registry, frame
+//! delivery and the capture tap.
+
+use crate::capture::Capture;
+use crate::fault::{FaultInjector, Verdict};
+use crate::time::{SimDuration, SimTime};
+use iotlan_wire::ethernet::{EthernetAddress, Frame};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Index of a node within a [`Network`].
+pub type NodeId = usize;
+
+/// Propagation delay of the simulated medium. Small and constant: the paper
+/// analyzes cadences of seconds to days, so sub-millisecond jitter carries
+/// no information.
+pub const MEDIUM_DELAY: SimDuration = SimDuration(200);
+
+/// A participant on the LAN (device, phone, honeypot, scanner, router).
+pub trait Node {
+    /// The node's hardware address. Must be unique within a network.
+    fn mac(&self) -> EthernetAddress;
+
+    /// Called once when the simulation starts (or when the node is added to
+    /// a running network).
+    fn on_start(&mut self, _ctx: &mut Context) {}
+
+    /// Called for every frame delivered to this node: unicast frames
+    /// addressed to its MAC plus all multicast/broadcast frames.
+    fn on_frame(&mut self, _ctx: &mut Context, _frame: &[u8]) {}
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context, _token: u64) {}
+
+    /// Downcasting support, so experiment code can inspect node state after
+    /// a run (e.g. read a honeypot's canary log).
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Deferred effects a node requests during a callback.
+enum Action {
+    Send { frame: Vec<u8>, delay: SimDuration },
+    Timer { delay: SimDuration, token: u64 },
+}
+
+/// The per-callback handle a node uses to act on the world.
+pub struct Context<'a> {
+    now: SimTime,
+    actions: &'a mut Vec<(NodeId, Action)>,
+    node_id: NodeId,
+    rng: &'a mut StdRng,
+}
+
+impl<'a> Context<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Transmit a complete Ethernet frame onto the medium.
+    pub fn send_frame(&mut self, frame: Vec<u8>) {
+        self.send_frame_delayed(SimDuration::ZERO, frame);
+    }
+
+    /// Transmit after `delay` — e.g. the 0..MX response scatter of SSDP.
+    pub fn send_frame_delayed(&mut self, delay: SimDuration, frame: Vec<u8>) {
+        self.actions.push((self.node_id, Action::Send { frame, delay }));
+    }
+
+    /// Arrange for `on_timer(token)` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions
+            .push((self.node_id, Action::Timer { delay, token }));
+    }
+
+    /// The network's deterministic RNG (shared; draws interleave with other
+    /// nodes' draws in event order, which is itself deterministic).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A queued event.
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    Start(NodeId),
+    Deliver { frame: Vec<u8> },
+    Timer { node: NodeId, token: u64 },
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first, with the
+        // sequence number as a deterministic tiebreak.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The simulated LAN.
+pub struct Network {
+    nodes: Vec<Box<dyn Node>>,
+    by_mac: HashMap<EthernetAddress, NodeId>,
+    queue: BinaryHeap<Event>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    /// The promiscuous AP capture (the paper's tcpdump vantage point).
+    pub capture: Capture,
+    /// Medium fault injection.
+    pub faults: FaultInjector,
+    frames_sent: u64,
+}
+
+impl Network {
+    /// Create an empty network with a deterministic seed.
+    pub fn new(seed: u64) -> Network {
+        Network {
+            nodes: Vec::new(),
+            by_mac: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            capture: Capture::new(),
+            faults: FaultInjector::none(),
+            frames_sent: 0,
+        }
+    }
+
+    /// Register a node. Its `on_start` fires at the current time. Panics on
+    /// duplicate MACs: the builder controls addresses, so a duplicate is a
+    /// construction bug, not runtime input.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = self.nodes.len();
+        let mac = node.mac();
+        assert!(
+            self.by_mac.insert(mac, id).is_none(),
+            "duplicate MAC {mac} in network"
+        );
+        self.nodes.push(node);
+        self.push_event(self.now, EventKind::Start(id));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total frames transmitted (pre-fault).
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Look up a node id by MAC.
+    pub fn node_by_mac(&self, mac: EthernetAddress) -> Option<NodeId> {
+        self.by_mac.get(&mac).copied()
+    }
+
+    /// Immutable access for post-run inspection (downcast via `as_any`).
+    pub fn node(&self, id: NodeId) -> &dyn Node {
+        self.nodes[id].as_ref()
+    }
+
+    /// Mutable access (downcast via `as_any_mut`).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        self.nodes[id].as_mut()
+    }
+
+    /// Transmit a frame onto the medium from outside any node — used by
+    /// test harnesses and by scanners that synthesize raw probes.
+    pub fn inject_frame(&mut self, frame: Vec<u8>) {
+        self.apply_actions(vec![(
+            usize::MAX,
+            Action::Send {
+                frame,
+                delay: SimDuration::ZERO,
+            },
+        )]);
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Run the simulation until `deadline` (inclusive). Events scheduled
+    /// beyond the deadline stay queued for a later `run_until`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(event) = self.queue.peek() {
+            if event.time > deadline {
+                break;
+            }
+            let event = self.queue.pop().unwrap();
+            self.now = event.time;
+            match event.kind {
+                EventKind::Start(id) => self.dispatch(id, |node, ctx| node.on_start(ctx)),
+                EventKind::Timer { node, token } => {
+                    self.dispatch(node, |n, ctx| n.on_timer(ctx, token))
+                }
+                EventKind::Deliver { frame } => self.deliver(frame),
+            }
+        }
+        self.now = deadline;
+    }
+
+    /// Run for `span` beyond the current time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Context)) {
+        let mut actions = Vec::new();
+        {
+            let node = self.nodes[id].as_mut();
+            let mut ctx = Context {
+                now: self.now,
+                actions: &mut actions,
+                node_id: id,
+                rng: &mut self.rng,
+            };
+            f(node, &mut ctx);
+        }
+        self.apply_actions(actions);
+    }
+
+    fn apply_actions(&mut self, actions: Vec<(NodeId, Action)>) {
+        for (node_id, action) in actions {
+            match action {
+                Action::Send { frame, delay } => {
+                    // Frames below the Ethernet minimum header never hit the
+                    // medium; treat as a node bug.
+                    if Frame::new_checked(&frame[..]).is_err() {
+                        continue;
+                    }
+                    self.frames_sent += 1;
+                    // The AP tap traces the frame as transmitted, including
+                    // ones the medium then drops (smoltcp convention).
+                    let tx_time = self.now + delay;
+                    self.capture.record(tx_time, &frame);
+                    match self.faults.apply(&frame) {
+                        Verdict::Deliver(data) => {
+                            self.seq += 1;
+                            self.queue.push(Event {
+                                time: tx_time + MEDIUM_DELAY,
+                                seq: self.seq,
+                                kind: EventKind::Deliver { frame: data },
+                            });
+                        }
+                        Verdict::Drop => {}
+                    }
+                }
+                Action::Timer { delay, token } => {
+                    let time = self.now + delay;
+                    self.push_event(time, EventKind::Timer { node: node_id, token });
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, frame: Vec<u8>) {
+        let view = match Frame::new_checked(&frame[..]) {
+            Ok(v) => v,
+            Err(_) => return, // corrupted below the header: undeliverable
+        };
+        let dst = view.dst_addr();
+        let src = view.src_addr();
+        if dst.is_multicast() {
+            // Broadcast medium: everyone but the sender hears it.
+            let ids: Vec<NodeId> = (0..self.nodes.len())
+                .filter(|&id| self.nodes[id].mac() != src)
+                .collect();
+            for id in ids {
+                self.dispatch(id, |node, ctx| node.on_frame(ctx, &frame));
+            }
+        } else if let Some(&id) = self.by_mac.get(&dst) {
+            self.dispatch(id, |node, ctx| node.on_frame(ctx, &frame));
+        }
+        // Unicast to an unknown MAC: silently lost, like a real switch port
+        // with no station.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotlan_wire::ethernet::{build_frame, EtherType, Repr};
+
+    /// A node that broadcasts one frame at start and counts receptions.
+    struct Chatter {
+        mac: EthernetAddress,
+        heard: Vec<Vec<u8>>,
+        announce: bool,
+    }
+
+    impl Chatter {
+        fn new(last: u8, announce: bool) -> Chatter {
+            Chatter {
+                mac: EthernetAddress([2, 0, 0, 0, 0, last]),
+                heard: Vec::new(),
+                announce,
+            }
+        }
+    }
+
+    impl Node for Chatter {
+        fn mac(&self) -> EthernetAddress {
+            self.mac
+        }
+
+        fn on_start(&mut self, ctx: &mut Context) {
+            if self.announce {
+                let frame = build_frame(
+                    &Repr {
+                        src_addr: self.mac,
+                        dst_addr: EthernetAddress::BROADCAST,
+                        ethertype: EtherType::Unknown(0x1234),
+                    },
+                    b"hello lan",
+                );
+                ctx.send_frame(frame);
+            }
+        }
+
+        fn on_frame(&mut self, _ctx: &mut Context, frame: &[u8]) {
+            self.heard.push(frame.to_vec());
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// A node that echoes unicast frames back to their sender.
+    struct Echoer {
+        mac: EthernetAddress,
+    }
+
+    impl Node for Echoer {
+        fn mac(&self) -> EthernetAddress {
+            self.mac
+        }
+
+        fn on_frame(&mut self, ctx: &mut Context, frame: &[u8]) {
+            let view = Frame::new_unchecked(frame);
+            if view.dst_addr() == self.mac {
+                let reply = build_frame(
+                    &Repr {
+                        src_addr: self.mac,
+                        dst_addr: view.src_addr(),
+                        ethertype: view.ethertype(),
+                    },
+                    view.payload(),
+                );
+                ctx.send_frame(reply);
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let mut network = Network::new(1);
+        let a = network.add_node(Box::new(Chatter::new(1, true)));
+        let b = network.add_node(Box::new(Chatter::new(2, false)));
+        let c = network.add_node(Box::new(Chatter::new(3, false)));
+        network.run_for(SimDuration::from_secs(1));
+        let get = |network: &Network, id: NodeId| {
+            network
+                .node(id)
+                .as_any()
+                .downcast_ref::<Chatter>()
+                .unwrap()
+                .heard
+                .len()
+        };
+        assert_eq!(get(&network, a), 0);
+        assert_eq!(get(&network, b), 1);
+        assert_eq!(get(&network, c), 1);
+        assert_eq!(network.capture.len(), 1);
+    }
+
+    #[test]
+    fn unicast_delivered_and_echoed() {
+        let mut network = Network::new(1);
+        let sender = network.add_node(Box::new(Chatter::new(1, false)));
+        let echo_mac = EthernetAddress([2, 0, 0, 0, 0, 9]);
+        network.add_node(Box::new(Echoer { mac: echo_mac }));
+        network.run_for(SimDuration::from_millis(1));
+
+        // Inject a unicast from the sender by dispatching through a timer:
+        // simpler — build and push via a dedicated node method is overkill;
+        // instead send directly using the public API of a fresh network run.
+        let frame = build_frame(
+            &Repr {
+                src_addr: EthernetAddress([2, 0, 0, 0, 0, 1]),
+                dst_addr: echo_mac,
+                ethertype: EtherType::Unknown(0x1234),
+            },
+            b"ping",
+        );
+        network.inject_frame(frame);
+        network.run_for(SimDuration::from_secs(1));
+        // Capture: injected frame + echo reply.
+        assert_eq!(network.capture.len(), 2);
+        let heard = network
+            .node(sender)
+            .as_any()
+            .downcast_ref::<Chatter>()
+            .unwrap();
+        assert_eq!(heard.heard.len(), 1);
+        assert_eq!(
+            Frame::new_unchecked(&heard.heard[0][..]).payload(),
+            b"ping"
+        );
+    }
+
+    #[test]
+    fn unicast_to_unknown_mac_lost() {
+        let mut network = Network::new(1);
+        network.add_node(Box::new(Chatter::new(1, false)));
+        let frame = build_frame(
+            &Repr {
+                src_addr: EthernetAddress([2, 0, 0, 0, 0, 1]),
+                dst_addr: EthernetAddress([2, 0, 0, 0, 0, 99]),
+                ethertype: EtherType::Ipv4,
+            },
+            b"void",
+        );
+        network.inject_frame(frame);
+        network.run_for(SimDuration::from_secs(1));
+        assert_eq!(network.capture.len(), 1); // traced but undelivered
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            mac: EthernetAddress,
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            fn mac(&self) -> EthernetAddress {
+                self.mac
+            }
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.set_timer(SimDuration::from_secs(3), 3);
+                ctx.set_timer(SimDuration::from_secs(1), 1);
+                ctx.set_timer(SimDuration::from_secs(2), 2);
+            }
+            fn on_timer(&mut self, _ctx: &mut Context, token: u64) {
+                self.fired.push(token);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut network = Network::new(1);
+        let id = network.add_node(Box::new(TimerNode {
+            mac: EthernetAddress([2, 0, 0, 0, 0, 1]),
+            fired: vec![],
+        }));
+        network.run_for(SimDuration::from_secs(10));
+        let node = network.node(id).as_any().downcast_ref::<TimerNode>().unwrap();
+        assert_eq!(node.fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let mut network = Network::new(seed);
+            network.add_node(Box::new(Chatter::new(1, true)));
+            network.add_node(Box::new(Chatter::new(2, true)));
+            network.run_for(SimDuration::from_secs(1));
+            network.capture.to_pcap()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn faults_drop_frames() {
+        let mut network = Network::new(1);
+        network.faults = FaultInjector::new(1.0, 0.0, None, 0);
+        network.add_node(Box::new(Chatter::new(1, true)));
+        let listener = network.add_node(Box::new(Chatter::new(2, false)));
+        network.run_for(SimDuration::from_secs(1));
+        // Traced at the AP but never delivered.
+        assert_eq!(network.capture.len(), 1);
+        let node = network
+            .node(listener)
+            .as_any()
+            .downcast_ref::<Chatter>()
+            .unwrap();
+        assert!(node.heard.is_empty());
+        assert_eq!(network.faults.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate MAC")]
+    fn duplicate_mac_panics() {
+        let mut network = Network::new(1);
+        network.add_node(Box::new(Chatter::new(1, false)));
+        network.add_node(Box::new(Chatter::new(1, false)));
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        struct Late {
+            mac: EthernetAddress,
+            fired: bool,
+        }
+        impl Node for Late {
+            fn mac(&self) -> EthernetAddress {
+                self.mac
+            }
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.set_timer(SimDuration::from_secs(100), 0);
+            }
+            fn on_timer(&mut self, _ctx: &mut Context, _token: u64) {
+                self.fired = true;
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut network = Network::new(1);
+        let id = network.add_node(Box::new(Late {
+            mac: EthernetAddress([2, 0, 0, 0, 0, 1]),
+            fired: false,
+        }));
+        network.run_until(SimTime::from_secs(50));
+        assert!(!network.node(id).as_any().downcast_ref::<Late>().unwrap().fired);
+        network.run_until(SimTime::from_secs(150));
+        assert!(network.node(id).as_any().downcast_ref::<Late>().unwrap().fired);
+    }
+}

@@ -1,0 +1,157 @@
+//! The simulator's virtual clock.
+//!
+//! Times are microseconds since the simulation epoch. Device cadences in
+//! the paper range from 20-second mDNS queries up to daily ARP sweeps, so a
+//! `u64` of microseconds gives ~584k years of range — plenty for the
+//! five-day idle capture.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time (µs since the simulation epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (µs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn from_secs(secs: u64) -> SimTime {
+        SimTime(secs * 1_000_000)
+    }
+
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Split into (seconds, microseconds) — the pcap timestamp form.
+    pub fn split(self) -> (u32, u32) {
+        ((self.0 / 1_000_000) as u32, (self.0 % 1_000_000) as u32)
+    }
+
+    pub fn saturating_sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn from_micros(micros: u64) -> SimDuration {
+        SimDuration(micros)
+    }
+
+    pub fn from_millis(millis: u64) -> SimDuration {
+        SimDuration(millis * 1_000)
+    }
+
+    pub fn from_secs(secs: u64) -> SimDuration {
+        SimDuration(secs * 1_000_000)
+    }
+
+    pub fn from_mins(mins: u64) -> SimDuration {
+        SimDuration::from_secs(mins * 60)
+    }
+
+    pub fn from_hours(hours: u64) -> SimDuration {
+        SimDuration::from_secs(hours * 3600)
+    }
+
+    pub fn from_days(days: u64) -> SimDuration {
+        SimDuration::from_secs(days * 86_400)
+    }
+
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (s, us) = self.split();
+        write!(f, "{s}.{us:06}s")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_millis(500);
+        assert_eq!(t.0, 10_500_000);
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_millis(500));
+        assert_eq!(t.split(), (10, 500_000));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert_eq!(SimTime::from_secs(1).to_string(), "1.000000s");
+        assert_eq!(SimDuration::from_hours(2).as_secs(), 7200);
+        assert_eq!(SimDuration::from_days(5).as_secs(), 432_000);
+        assert_eq!(SimDuration::from_mins(3).as_secs(), 180);
+    }
+
+    #[test]
+    fn saturating() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(5);
+        assert_eq!(early.saturating_sub(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_sub(early), SimDuration::from_secs(4));
+    }
+}

@@ -1,0 +1,26 @@
+//! # iotlan-scan
+//!
+//! Active scanning, per §3.1/§4.2 of the paper: "We run TCP SYN scans on
+//! all ports (1–65535), UDP scans on popular ports (1–1024), and IP-level
+//! protocol scans … We also use Nessus scanner to detect potential
+//! vulnerabilities in running services."
+//!
+//! Two layers:
+//! * [`portscan`] — the sweep engine. The full 6.1-million-probe sweep runs
+//!   against the catalog's service tables with nmap response semantics
+//!   (open → SYN-ACK, closed → RST *iff* the device answers scans at all,
+//!   filtered → silence); a packet-level variant drives real probes through
+//!   the simulator for verification on narrow port sets.
+//! * [`service`] — nmap-style service-name inference from its port table,
+//!   including the wrong names the paper had to hand-correct (§3.5: "We
+//!   find these inferences to be incorrect in many cases"): port 8009 →
+//!   `ajp13`, 6667 → `irc`, 9000 → `cslistener`, 8443 → `https-alt`, etc.
+//! * [`vuln`] — the Nessus-style plugin engine with the CVE knowledge base
+//!   covering every §5.2 finding.
+
+pub mod portscan;
+pub mod service;
+pub mod vuln;
+
+pub use portscan::{scan_catalog, CatalogScan, DeviceScan};
+pub use vuln::{scan_device, Finding, Severity};

@@ -1,0 +1,288 @@
+//! CoAP (RFC 7252).
+//!
+//! §5.1: three lab devices use CoAP — the Samsung fridge requesting an
+//! IoTivity URI (`/oic/res`), and two HomePod Minis whose payloads the
+//! authors could not decode. We implement the full base header, option
+//! delta/length encoding (enough for Uri-Path/Uri-Query) and payload marker.
+
+use crate::{Error, Result};
+
+/// CoAP message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageType {
+    Confirmable,
+    NonConfirmable,
+    Acknowledgement,
+    Reset,
+}
+
+impl MessageType {
+    fn from_bits(bits: u8) -> MessageType {
+        match bits {
+            0 => MessageType::Confirmable,
+            1 => MessageType::NonConfirmable,
+            2 => MessageType::Acknowledgement,
+            _ => MessageType::Reset,
+        }
+    }
+
+    fn to_bits(self) -> u8 {
+        match self {
+            MessageType::Confirmable => 0,
+            MessageType::NonConfirmable => 1,
+            MessageType::Acknowledgement => 2,
+            MessageType::Reset => 3,
+        }
+    }
+}
+
+/// Method/response codes (class.detail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Code(pub u8);
+
+impl Code {
+    pub const EMPTY: Code = Code(0x00);
+    pub const GET: Code = Code(0x01);
+    pub const POST: Code = Code(0x02);
+    pub const CONTENT: Code = Code(0x45); // 2.05
+
+    pub fn class(self) -> u8 {
+        self.0 >> 5
+    }
+
+    pub fn detail(self) -> u8 {
+        self.0 & 0x1f
+    }
+}
+
+/// Option numbers we type.
+pub const OPTION_URI_PATH: u16 = 11;
+pub const OPTION_URI_QUERY: u16 = 15;
+
+/// A CoAP option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoapOption {
+    pub number: u16,
+    pub value: Vec<u8>,
+}
+
+/// A CoAP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    pub message_type: MessageType,
+    pub code: Code,
+    pub message_id: u16,
+    pub token: Vec<u8>,
+    pub options: Vec<CoapOption>,
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// Build a GET for a slash-separated path like `oic/res`.
+    pub fn get(message_id: u16, path: &str) -> Message {
+        Message {
+            message_type: MessageType::Confirmable,
+            code: Code::GET,
+            message_id,
+            token: Vec::new(),
+            options: path
+                .split('/')
+                .filter(|s| !s.is_empty())
+                .map(|seg| CoapOption {
+                    number: OPTION_URI_PATH,
+                    value: seg.as_bytes().to_vec(),
+                })
+                .collect(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Reassemble the Uri-Path options into a path string.
+    pub fn uri_path(&self) -> String {
+        self.options
+            .iter()
+            .filter(|o| o.number == OPTION_URI_PATH)
+            .map(|o| String::from_utf8_lossy(&o.value).into_owned())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+
+    pub fn parse(data: &[u8]) -> Result<Message> {
+        if data.len() < 4 {
+            return Err(Error::Truncated);
+        }
+        let version = data[0] >> 6;
+        if version != 1 {
+            return Err(Error::Malformed);
+        }
+        let message_type = MessageType::from_bits((data[0] >> 4) & 0x03);
+        let token_len = (data[0] & 0x0f) as usize;
+        if token_len > 8 {
+            return Err(Error::Malformed);
+        }
+        let code = Code(data[1]);
+        let message_id = u16::from_be_bytes([data[2], data[3]]);
+        let token = data.get(4..4 + token_len).ok_or(Error::Truncated)?.to_vec();
+
+        let mut options = Vec::new();
+        let mut payload = Vec::new();
+        let mut number = 0u16;
+        let mut i = 4 + token_len;
+        while i < data.len() {
+            if data[i] == 0xff {
+                payload = data[i + 1..].to_vec();
+                if payload.is_empty() {
+                    return Err(Error::Malformed); // marker with no payload
+                }
+                break;
+            }
+            let delta_nib = data[i] >> 4;
+            let len_nib = data[i] & 0x0f;
+            i += 1;
+            let delta = decode_extended(delta_nib, data, &mut i)?;
+            let length = decode_extended(len_nib, data, &mut i)? as usize;
+            number = number.checked_add(delta).ok_or(Error::Malformed)?;
+            let value = data.get(i..i + length).ok_or(Error::Truncated)?.to_vec();
+            i += length;
+            options.push(CoapOption { number, value });
+        }
+        Ok(Message {
+            message_type,
+            code,
+            message_id,
+            token,
+            options,
+            payload,
+        })
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.push((1 << 6) | (self.message_type.to_bits() << 4) | (self.token.len() as u8 & 0x0f));
+        out.push(self.code.0);
+        out.extend_from_slice(&self.message_id.to_be_bytes());
+        out.extend_from_slice(&self.token);
+        let mut prev = 0u16;
+        let mut sorted: Vec<&CoapOption> = self.options.iter().collect();
+        sorted.sort_by_key(|o| o.number);
+        for option in sorted {
+            let delta = option.number - prev;
+            prev = option.number;
+            let (delta_nib, delta_ext) = encode_extended(delta);
+            let (len_nib, len_ext) = encode_extended(option.value.len() as u16);
+            out.push((delta_nib << 4) | len_nib);
+            out.extend_from_slice(&delta_ext);
+            out.extend_from_slice(&len_ext);
+            out.extend_from_slice(&option.value);
+        }
+        if !self.payload.is_empty() {
+            out.push(0xff);
+            out.extend_from_slice(&self.payload);
+        }
+        out
+    }
+}
+
+fn decode_extended(nibble: u8, data: &[u8], i: &mut usize) -> Result<u16> {
+    match nibble {
+        0..=12 => Ok(u16::from(nibble)),
+        13 => {
+            let b = *data.get(*i).ok_or(Error::Truncated)?;
+            *i += 1;
+            Ok(u16::from(b) + 13)
+        }
+        14 => {
+            let b = data.get(*i..*i + 2).ok_or(Error::Truncated)?;
+            *i += 2;
+            Ok(u16::from_be_bytes([b[0], b[1]]).saturating_add(269))
+        }
+        _ => Err(Error::Malformed), // 15 is reserved (payload marker collision)
+    }
+}
+
+fn encode_extended(value: u16) -> (u8, Vec<u8>) {
+    if value <= 12 {
+        (value as u8, Vec::new())
+    } else if value <= 268 {
+        (13, vec![(value - 13) as u8])
+    } else {
+        (14, (value - 269).to_be_bytes().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iotivity_get_roundtrip() {
+        // The Samsung fridge's IoTivity discovery request.
+        let message = Message::get(0x1234, "oic/res");
+        let parsed = Message::parse(&message.to_bytes()).unwrap();
+        assert_eq!(parsed, message);
+        assert_eq!(parsed.uri_path(), "oic/res");
+        assert_eq!(parsed.code, Code::GET);
+    }
+
+    #[test]
+    fn response_with_payload() {
+        let message = Message {
+            message_type: MessageType::Acknowledgement,
+            code: Code::CONTENT,
+            message_id: 0x1234,
+            token: vec![0xaa, 0xbb],
+            options: vec![],
+            payload: b"{\"rt\":\"oic.wk.res\"}".to_vec(),
+        };
+        let parsed = Message::parse(&message.to_bytes()).unwrap();
+        assert_eq!(parsed, message);
+        assert_eq!(parsed.code.class(), 2);
+        assert_eq!(parsed.code.detail(), 5);
+    }
+
+    #[test]
+    fn extended_option_encoding() {
+        // Uri-Query (15) after Uri-Path (11) exercises a delta of 4;
+        // a long value exercises extended length.
+        let message = Message {
+            message_type: MessageType::NonConfirmable,
+            code: Code::GET,
+            message_id: 1,
+            token: vec![],
+            options: vec![
+                CoapOption {
+                    number: OPTION_URI_PATH,
+                    value: b"a".repeat(300),
+                },
+                CoapOption {
+                    number: OPTION_URI_QUERY,
+                    value: b"rt=oic.wk.res".to_vec(),
+                },
+            ],
+            payload: vec![],
+        };
+        let parsed = Message::parse(&message.to_bytes()).unwrap();
+        assert_eq!(parsed, message);
+    }
+
+    #[test]
+    fn marker_without_payload_malformed() {
+        let mut bytes = Message::get(1, "x").to_bytes();
+        bytes.push(0xff);
+        assert_eq!(Message::parse(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = Message::get(1, "x").to_bytes();
+        bytes[0] = (2 << 6) | (bytes[0] & 0x3f);
+        assert_eq!(Message::parse(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn oversized_token_rejected() {
+        let mut bytes = Message::get(1, "x").to_bytes();
+        bytes[0] = (bytes[0] & 0xf0) | 0x0f; // token length 15
+        assert_eq!(Message::parse(&bytes).unwrap_err(), Error::Malformed);
+    }
+}

@@ -1,0 +1,172 @@
+//! EAPOL (IEEE 802.1X) framing. 84% of lab devices emit EAPOL (§4.1) as part
+//! of the WPA2 four-way handshake; the toolkit only needs frame-level
+//! identification, not key derivation.
+
+use crate::field::{self, Field};
+use crate::{Error, Result};
+
+/// EAPOL packet types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketType {
+    EapPacket,
+    Start,
+    Logoff,
+    /// EAPOL-Key: the WPA handshake messages.
+    Key,
+    Unknown(u8),
+}
+
+impl From<u8> for PacketType {
+    fn from(value: u8) -> Self {
+        match value {
+            0 => PacketType::EapPacket,
+            1 => PacketType::Start,
+            2 => PacketType::Logoff,
+            3 => PacketType::Key,
+            other => PacketType::Unknown(other),
+        }
+    }
+}
+
+impl From<PacketType> for u8 {
+    fn from(value: PacketType) -> u8 {
+        match value {
+            PacketType::EapPacket => 0,
+            PacketType::Start => 1,
+            PacketType::Logoff => 2,
+            PacketType::Key => 3,
+            PacketType::Unknown(other) => other,
+        }
+    }
+}
+
+mod layout {
+    use super::Field;
+    pub const VERSION: usize = 0;
+    pub const TYPE: usize = 1;
+    pub const LENGTH: Field = 2..4;
+}
+
+/// EAPOL header length.
+pub const HEADER_LEN: usize = 4;
+
+/// A view of an EAPOL frame body (after the Ethernet header).
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    pub fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let packet = Packet { buffer };
+        if HEADER_LEN + packet.body_len() as usize > len {
+            return Err(Error::Truncated);
+        }
+        Ok(packet)
+    }
+
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[layout::VERSION]
+    }
+
+    pub fn packet_type(&self) -> PacketType {
+        PacketType::from(self.buffer.as_ref()[layout::TYPE])
+    }
+
+    pub fn body_len(&self) -> u16 {
+        field::read_u16(self.buffer.as_ref(), layout::LENGTH.start).unwrap()
+    }
+
+    pub fn body(&self) -> &[u8] {
+        let end = HEADER_LEN + self.body_len() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..end]
+    }
+}
+
+/// High-level representation of an EAPOL frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repr {
+    pub version: u8,
+    pub packet_type: PacketType,
+    pub body_len: usize,
+}
+
+impl Repr {
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        if packet.version() == 0 || packet.version() > 3 {
+            return Err(Error::Malformed);
+        }
+        Ok(Repr {
+            version: packet.version(),
+            packet_type: packet.packet_type(),
+            body_len: packet.body_len() as usize,
+        })
+    }
+
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.body_len
+    }
+
+    pub fn to_bytes(&self, body: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(self.body_len, body.len());
+        let mut buffer = vec![0u8; HEADER_LEN + body.len()];
+        buffer[layout::VERSION] = self.version;
+        buffer[layout::TYPE] = self.packet_type.into();
+        field::write_u16(&mut buffer, layout::LENGTH.start, body.len() as u16);
+        buffer[HEADER_LEN..].copy_from_slice(body);
+        buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_frame_roundtrip() {
+        let repr = Repr {
+            version: 2,
+            packet_type: PacketType::Key,
+            body_len: 3,
+        };
+        let bytes = repr.to_bytes(&[0xde, 0xad, 0x00]);
+        let packet = Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&packet).unwrap(), repr);
+        assert_eq!(packet.body(), &[0xde, 0xad, 0x00]);
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let repr = Repr {
+            version: 1,
+            packet_type: PacketType::Key,
+            body_len: 4,
+        };
+        let bytes = repr.to_bytes(&[1, 2, 3, 4]);
+        assert_eq!(
+            Packet::new_checked(&bytes[..6]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let repr = Repr {
+            version: 2,
+            packet_type: PacketType::Start,
+            body_len: 0,
+        };
+        let mut bytes = repr.to_bytes(&[]);
+        bytes[0] = 0;
+        let packet = Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&packet).unwrap_err(), Error::Malformed);
+    }
+}

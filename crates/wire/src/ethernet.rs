@@ -1,0 +1,371 @@
+//! Ethernet II framing, hardware addresses, and the EtherType registry
+//! entries used in the testbed captures.
+
+use crate::field::{self, Field, Rest};
+use crate::{Error, Result};
+use core::fmt;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// MAC addresses are one of the central identifiers of the paper: they are
+/// persistent, unique per device, harvested via ARP/mDNS/SSDP, and usable for
+/// geolocation and household fingerprinting, which is why the type carries
+/// OUI helpers used throughout the analysis crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EthernetAddress(pub [u8; 6]);
+
+impl EthernetAddress {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthernetAddress = EthernetAddress([0xff; 6]);
+
+    /// Construct from six octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        EthernetAddress([a, b, c, d, e, f])
+    }
+
+    /// Construct from a byte slice. Returns `Malformed` unless exactly six
+    /// bytes are given.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let array: [u8; 6] = bytes.try_into().map_err(|_| Error::Malformed)?;
+        Ok(EthernetAddress(array))
+    }
+
+    /// Parse the textual `aa:bb:cc:dd:ee:ff` or `aa-bb-cc-dd-ee-ff` form.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut octets = [0u8; 6];
+        let mut count = 0;
+        for part in text.split(|c| c == ':' || c == '-') {
+            if count == 6 || part.len() != 2 {
+                return Err(Error::Malformed);
+            }
+            octets[count] = u8::from_str_radix(part, 16).map_err(|_| Error::Malformed)?;
+            count += 1;
+        }
+        if count != 6 {
+            return Err(Error::Malformed);
+        }
+        Ok(EthernetAddress(octets))
+    }
+
+    /// The group bit: multicast (and broadcast) destinations.
+    /// This is the `eth.dst.ig == 1` test of the paper's local-traffic filter
+    /// (Appendix C.1).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for the all-ones broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for an individual (unicast) address.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// The locally-administered bit (randomized/privacy addresses).
+    pub fn is_locally_administered(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// The Organizationally Unique Identifier: the first three octets,
+    /// which IoT Inspector uses to infer device vendors.
+    pub fn oui(&self) -> [u8; 3] {
+        [self.0[0], self.0[1], self.0[2]]
+    }
+
+    /// Upper-case hex OUI without separators (e.g. `"001788"` for Philips),
+    /// the form used as a lookup key by the inference pipeline.
+    pub fn oui_hex(&self) -> String {
+        format!("{:02X}{:02X}{:02X}", self.0[0], self.0[1], self.0[2])
+    }
+
+    /// The raw octets.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for EthernetAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// EtherType values seen in the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    Ipv6,
+    /// IEEE 802.1X authentication (EAPOL) — 84% of lab devices emit it.
+    Eapol,
+    /// Anything else, preserved verbatim.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(value: u16) -> Self {
+        match value {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86dd => EtherType::Ipv6,
+            0x888e => EtherType::Eapol,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(value: EtherType) -> u16 {
+        match value {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Eapol => 0x888e,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "IPv4"),
+            EtherType::Arp => write!(f, "ARP"),
+            EtherType::Ipv6 => write!(f, "IPv6"),
+            EtherType::Eapol => write!(f, "EAPOL"),
+            EtherType::Unknown(t) => write!(f, "0x{t:04x}"),
+        }
+    }
+}
+
+mod layout {
+    use super::*;
+    pub const DESTINATION: Field = 0..6;
+    pub const SOURCE: Field = 6..12;
+    pub const ETHERTYPE: Field = 12..14;
+    pub const PAYLOAD: Rest = 14..;
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// A read/write view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wrap a buffer, ensuring the fixed header is present.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Recover the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination hardware address.
+    pub fn dst_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[layout::DESTINATION]).unwrap()
+    }
+
+    /// Source hardware address.
+    pub fn src_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[layout::SOURCE]).unwrap()
+    }
+
+    /// The EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let raw = field::read_u16(self.buffer.as_ref(), layout::ETHERTYPE.start).unwrap();
+        EtherType::from(raw)
+    }
+
+    /// The frame payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[layout::PAYLOAD]
+    }
+
+    /// Total frame length.
+    pub fn total_len(&self) -> usize {
+        self.buffer.as_ref().len()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[layout::DESTINATION].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[layout::SOURCE].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the EtherType.
+    pub fn set_ethertype(&mut self, ethertype: EtherType) {
+        field::write_u16(
+            self.buffer.as_mut(),
+            layout::ETHERTYPE.start,
+            ethertype.into(),
+        );
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[layout::PAYLOAD]
+    }
+}
+
+/// High-level representation of an Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub src_addr: EthernetAddress,
+    pub dst_addr: EthernetAddress,
+    pub ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parse a frame header into its representation.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Result<Repr> {
+        if frame.buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Repr {
+            src_addr: frame.src_addr(),
+            dst_addr: frame.dst_addr(),
+            ethertype: frame.ethertype(),
+        })
+    }
+
+    /// Length of the emitted header.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit this representation into a frame view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+        frame.set_src_addr(self.src_addr);
+        frame.set_dst_addr(self.dst_addr);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+/// Build a complete frame from a header representation and payload bytes.
+pub fn build_frame(repr: &Repr, payload: &[u8]) -> Vec<u8> {
+    let mut buffer = vec![0u8; HEADER_LEN + payload.len()];
+    let mut frame = Frame::new_unchecked(&mut buffer[..]);
+    repr.emit(&mut frame);
+    frame.payload_mut().copy_from_slice(payload);
+    buffer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: [u8; 18] = [
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // dst: broadcast
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x01, // src
+        0x08, 0x06, // ARP
+        0xde, 0xad, 0xbe, 0xef, // payload
+    ];
+
+    #[test]
+    fn parse_sample() {
+        let frame = Frame::new_checked(&SAMPLE[..]).unwrap();
+        assert!(frame.dst_addr().is_broadcast());
+        assert_eq!(
+            frame.src_addr(),
+            EthernetAddress::new(0x02, 0, 0, 0, 0, 0x01)
+        );
+        assert_eq!(frame.ethertype(), EtherType::Arp);
+        assert_eq!(frame.payload(), &[0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            Frame::new_checked(&SAMPLE[..13]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn repr_roundtrip() {
+        let repr = Repr {
+            src_addr: EthernetAddress::new(0x74, 0xda, 0x38, 0x01, 0x02, 0x03),
+            dst_addr: EthernetAddress::BROADCAST,
+            ethertype: EtherType::Ipv4,
+        };
+        let frame_bytes = build_frame(&repr, b"payload");
+        let frame = Frame::new_checked(&frame_bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&frame).unwrap(), repr);
+        assert_eq!(frame.payload(), b"payload");
+    }
+
+    #[test]
+    fn multicast_bits() {
+        // IPv4 multicast-mapped MAC.
+        let mcast = EthernetAddress::new(0x01, 0x00, 0x5e, 0x00, 0x00, 0xfb);
+        assert!(mcast.is_multicast());
+        assert!(!mcast.is_broadcast());
+        let unicast = EthernetAddress::new(0x00, 0x17, 0x88, 0x68, 0x5f, 0x61);
+        assert!(unicast.is_unicast());
+        assert!(!unicast.is_locally_administered());
+        let local = EthernetAddress::new(0x02, 0, 0, 0, 0, 1);
+        assert!(local.is_locally_administered());
+    }
+
+    #[test]
+    fn oui_of_philips_hue() {
+        // The Philips Hue bridge from Table 5 of the paper.
+        let hue = EthernetAddress::parse("00:17:88:68:5f:61").unwrap();
+        assert_eq!(hue.oui(), [0x00, 0x17, 0x88]);
+        assert_eq!(hue.oui_hex(), "001788");
+        assert_eq!(hue.to_string(), "00:17:88:68:5f:61");
+    }
+
+    #[test]
+    fn parse_text_forms() {
+        assert_eq!(
+            EthernetAddress::parse("aa-bb-cc-dd-ee-ff").unwrap(),
+            EthernetAddress([0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff])
+        );
+        assert!(EthernetAddress::parse("aa:bb:cc").is_err());
+        assert!(EthernetAddress::parse("aa:bb:cc:dd:ee:ff:00").is_err());
+        assert!(EthernetAddress::parse("zz:bb:cc:dd:ee:ff").is_err());
+        assert!(EthernetAddress::parse("aaa:bb:cc:dd:ee:f").is_err());
+    }
+
+    #[test]
+    fn ethertype_registry() {
+        for (raw, et) in [
+            (0x0800u16, EtherType::Ipv4),
+            (0x0806, EtherType::Arp),
+            (0x86dd, EtherType::Ipv6),
+            (0x888e, EtherType::Eapol),
+            (0x1234, EtherType::Unknown(0x1234)),
+        ] {
+            assert_eq!(EtherType::from(raw), et);
+            assert_eq!(u16::from(et), raw);
+        }
+    }
+}

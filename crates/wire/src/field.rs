@@ -1,0 +1,72 @@
+//! Byte-range helpers shared by the packet views.
+//!
+//! Protocol modules describe their layouts as `const` ranges over the raw
+//! buffer, in the style of smoltcp's `field` modules. The free functions here
+//! are the *checked* readers used on the parse path; the panicking indexed
+//! forms are reserved for emitters operating on buffers they sized themselves.
+
+use core::ops::Range;
+
+/// A fixed field location within a packet buffer.
+pub type Field = Range<usize>;
+
+/// The open-ended rest of a packet starting at a fixed offset.
+pub type Rest = core::ops::RangeFrom<usize>;
+
+/// Read a big-endian `u16` at `offset`, checking bounds.
+pub fn read_u16(data: &[u8], offset: usize) -> crate::Result<u16> {
+    let bytes = data
+        .get(offset..offset + 2)
+        .ok_or(crate::Error::Truncated)?;
+    Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+}
+
+/// Read a big-endian `u32` at `offset`, checking bounds.
+pub fn read_u32(data: &[u8], offset: usize) -> crate::Result<u32> {
+    let bytes = data
+        .get(offset..offset + 4)
+        .ok_or(crate::Error::Truncated)?;
+    Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+/// Read a single byte at `offset`, checking bounds.
+pub fn read_u8(data: &[u8], offset: usize) -> crate::Result<u8> {
+    data.get(offset).copied().ok_or(crate::Error::Truncated)
+}
+
+/// Write a big-endian `u16`. Panics if the buffer is too short; emitters own
+/// their buffers and size them with `buffer_len()` first.
+pub fn write_u16(data: &mut [u8], offset: usize, value: u16) {
+    data[offset..offset + 2].copy_from_slice(&value.to_be_bytes());
+}
+
+/// Write a big-endian `u32`. Panics if the buffer is too short.
+pub fn write_u32(data: &mut [u8], offset: usize, value: u32) {
+    data[offset..offset + 4].copy_from_slice(&value.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_checked() {
+        let data = [0x12, 0x34, 0x56, 0x78];
+        assert_eq!(read_u16(&data, 0), Ok(0x1234));
+        assert_eq!(read_u16(&data, 2), Ok(0x5678));
+        assert_eq!(read_u16(&data, 3), Err(crate::Error::Truncated));
+        assert_eq!(read_u32(&data, 0), Ok(0x1234_5678));
+        assert_eq!(read_u32(&data, 1), Err(crate::Error::Truncated));
+        assert_eq!(read_u8(&data, 3), Ok(0x78));
+        assert_eq!(read_u8(&data, 4), Err(crate::Error::Truncated));
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let mut data = [0u8; 6];
+        write_u16(&mut data, 0, 0xbeef);
+        write_u32(&mut data, 2, 0xdead_beef);
+        assert_eq!(read_u16(&data, 0), Ok(0xbeef));
+        assert_eq!(read_u32(&data, 2), Ok(0xdead_beef));
+    }
+}

@@ -1,0 +1,93 @@
+//! # iotlan-wire
+//!
+//! Wire formats for every protocol observed in the MonIoTr Lab testbed of
+//! *"In the Room Where It Happens: Characterizing Local Communication and
+//! Threats in Smart Homes"* (IMC 2023).
+//!
+//! The crate follows the smoltcp idiom: each protocol exposes
+//!
+//! * a zero-copy **packet view** (`Packet<T: AsRef<[u8]>>`) with typed field
+//!   accessors, and mutators when `T: AsMut<[u8]>`;
+//! * a high-level **representation** (`Repr`) that can be `parse`d from a
+//!   valid packet view and `emit`ted into a freshly sized buffer.
+//!
+//! Parsing never panics on attacker-controlled input: every accessor used by
+//! `Repr::parse` is guarded by length checks and malformed packets yield
+//! [`Error`] values instead.
+//!
+//! Layers covered: Ethernet II, ARP, IPv4/IPv6, UDP/TCP, ICMPv4, ICMPv6+NDP,
+//! IGMPv2, EAPOL, DHCPv4/v6, DNS/mDNS, SSDP, HTTP, TLS (record layer and
+//! handshake metadata), CoAP, NetBIOS-NS, TP-Link Smart Home protocol
+//! (XOR autokey), TuyaLP, RTP, STUN and the LIFX LAN header, plus a
+//! from-scratch libpcap file writer/reader.
+
+pub mod arp;
+pub mod checksum;
+pub mod coap;
+pub mod dhcpv4;
+pub mod dhcpv6;
+pub mod dns;
+pub mod eapol;
+pub mod ethernet;
+pub mod field;
+pub mod http;
+pub mod icmpv4;
+pub mod icmpv6;
+pub mod igmp;
+pub mod ipv4;
+pub mod ipv6;
+pub mod lifx;
+pub mod llc;
+pub mod netbios;
+pub mod pcap;
+pub mod rtp;
+pub mod ssdp;
+pub mod stun;
+pub mod tcp;
+pub mod tls;
+pub mod tplink;
+pub mod tuya;
+pub mod udp;
+
+pub use ethernet::{EtherType, EthernetAddress};
+
+/// Re-export: the JSON value type carried by TPLINK-SHP/TuyaLP payloads.
+pub use serde_json::Value as JsonValue;
+
+use core::fmt;
+
+/// Errors produced while parsing or emitting wire formats.
+///
+/// Parsers distinguish a buffer that is simply too short ([`Error::Truncated`])
+/// from one whose contents violate the protocol ([`Error::Malformed`]) because
+/// capture pipelines handle them differently: truncation is a capture
+/// artifact, malformation is a device bug or an attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Error {
+    /// The buffer is shorter than the protocol's minimum, or than the length
+    /// its own header fields claim.
+    Truncated,
+    /// A field value violates the protocol specification.
+    Malformed,
+    /// A checksum failed validation.
+    Checksum,
+    /// The packet is well-formed but uses a version or feature this
+    /// implementation does not support.
+    Unsupported,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "truncated packet"),
+            Error::Malformed => write!(f, "malformed packet"),
+            Error::Checksum => write!(f, "checksum failure"),
+            Error::Unsupported => write!(f, "unsupported feature"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for wire-format operations.
+pub type Result<T> = core::result::Result<T, Error>;

@@ -1,0 +1,134 @@
+//! The LIFX LAN protocol header.
+//!
+//! §5.1's "unidentified traffic" finding: Echo devices broadcast a packet to
+//! UDP 56700 every 2 hours, "which seems to be used by Lifx, a smart device
+//! manufacturer not represented in our testbed." We implement the LIFX
+//! binary header (little-endian, unusually) so the probe is byte-faithful
+//! and so the classifier can *fail* to label it the way the paper's did —
+//! no LIFX device is in the catalog to answer.
+
+use crate::{Error, Result};
+
+/// The LIFX LAN UDP port.
+pub const LIFX_PORT: u16 = 56700;
+
+/// GetService — the discovery message type.
+pub const MSG_GET_SERVICE: u16 = 2;
+
+/// A LIFX protocol header (36 bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Total message size including this header.
+    pub size: u16,
+    /// Source identifier set by the client.
+    pub source: u32,
+    /// Target MAC (zero = broadcast/tagged).
+    pub target: [u8; 8],
+    pub sequence: u8,
+    pub message_type: u16,
+    /// True for discovery (tagged) messages.
+    pub tagged: bool,
+}
+
+/// LIFX header length.
+pub const HEADER_LEN: usize = 36;
+
+impl Header {
+    /// The GetService discovery broadcast the Echo emits.
+    pub fn get_service(source: u32, sequence: u8) -> Header {
+        Header {
+            size: HEADER_LEN as u16,
+            source,
+            target: [0; 8],
+            sequence,
+            message_type: MSG_GET_SERVICE,
+            tagged: true,
+        }
+    }
+
+    pub fn parse(data: &[u8]) -> Result<Header> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let size = u16::from_le_bytes([data[0], data[1]]);
+        if usize::from(size) < HEADER_LEN || usize::from(size) > data.len() {
+            return Err(Error::Truncated);
+        }
+        let proto_field = u16::from_le_bytes([data[2], data[3]]);
+        // Low 12 bits: protocol number, must be 1024.
+        if proto_field & 0x0fff != 1024 {
+            return Err(Error::Malformed);
+        }
+        let tagged = proto_field & 0x2000 != 0;
+        let source = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+        let target: [u8; 8] = data[8..16].try_into().unwrap();
+        let sequence = data[23];
+        let message_type = u16::from_le_bytes([data[32], data[33]]);
+        Ok(Header {
+            size,
+            source,
+            target,
+            sequence,
+            message_type,
+            tagged,
+        })
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; HEADER_LEN];
+        out[0..2].copy_from_slice(&self.size.to_le_bytes());
+        let mut proto_field: u16 = 1024;
+        proto_field |= 0x1000; // addressable, always set
+        if self.tagged {
+            proto_field |= 0x2000;
+        }
+        out[2..4].copy_from_slice(&proto_field.to_le_bytes());
+        out[4..8].copy_from_slice(&self.source.to_le_bytes());
+        out[8..16].copy_from_slice(&self.target);
+        out[23] = self.sequence;
+        out[32..34].copy_from_slice(&self.message_type.to_le_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_service_roundtrip() {
+        let header = Header::get_service(0x0a0b_0c0d, 9);
+        let bytes = header.to_bytes();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let parsed = Header::parse(&bytes).unwrap();
+        assert_eq!(parsed, header);
+        assert!(parsed.tagged);
+        assert_eq!(parsed.message_type, MSG_GET_SERVICE);
+    }
+
+    #[test]
+    fn little_endian_size() {
+        let header = Header::get_service(1, 0);
+        let bytes = header.to_bytes();
+        assert_eq!(bytes[0], HEADER_LEN as u8);
+        assert_eq!(bytes[1], 0);
+    }
+
+    #[test]
+    fn wrong_protocol_rejected() {
+        let header = Header::get_service(1, 0);
+        let mut bytes = header.to_bytes();
+        bytes[2] = 0; // protocol low byte
+        bytes[3] &= 0xf0;
+        assert_eq!(Header::parse(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = Header::get_service(1, 0).to_bytes();
+        assert_eq!(Header::parse(&bytes[..20]).unwrap_err(), Error::Truncated);
+        let mut oversized = bytes.clone();
+        oversized[0] = 200; // claims more than present
+        assert_eq!(Header::parse(&oversized).unwrap_err(), Error::Truncated);
+    }
+}

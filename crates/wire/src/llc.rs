@@ -1,0 +1,132 @@
+//! IEEE 802.2 LLC frames with the XID command — the "XID/LLC" bar of
+//! Figure 2 (93% of devices use broadcast protocols "like ARP, XID/LLC,
+//! DHCP"). Wi-Fi chipsets emit broadcast XID frames at association for
+//! bridge/roaming discovery.
+//!
+//! On the wire these are 802.3 length-framed (EtherType field < 0x0600 is
+//! a length), so they surface as `EtherType::Unknown(len)` at the Ethernet
+//! layer and classify as UNKNOWN-L3 — exactly how the paper's tools see
+//! them.
+
+use crate::{Error, Result};
+
+/// LLC header: DSAP, SSAP, control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlcFrame {
+    pub dsap: u8,
+    pub ssap: u8,
+    /// Control field; XID uses the unnumbered format 0xAF/0xBF.
+    pub control: u8,
+    /// XID information field (format identifier, class, window).
+    pub info: Vec<u8>,
+}
+
+/// The NULL SAP used by broadcast XID probes.
+pub const SAP_NULL: u8 = 0x00;
+/// Unnumbered XID control value (P/F bit set).
+pub const CONTROL_XID: u8 = 0xbf;
+
+impl LlcFrame {
+    /// The classic broadcast XID probe (`AA AA 03`-less NULL-SAP form):
+    /// DSAP 0, SSAP 0, control 0xBF, info `81 01 00`.
+    pub fn xid_probe() -> LlcFrame {
+        LlcFrame {
+            dsap: SAP_NULL,
+            ssap: SAP_NULL,
+            control: CONTROL_XID,
+            info: vec![0x81, 0x01, 0x00],
+        }
+    }
+
+    /// True when the control field marks an XID exchange.
+    pub fn is_xid(&self) -> bool {
+        self.control & 0xef == 0xaf
+    }
+
+    pub fn parse(data: &[u8]) -> Result<LlcFrame> {
+        if data.len() < 3 {
+            return Err(Error::Truncated);
+        }
+        Ok(LlcFrame {
+            dsap: data[0],
+            ssap: data[1],
+            control: data[2],
+            info: data[3..].to_vec(),
+        })
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(3 + self.info.len());
+        out.push(self.dsap);
+        out.push(self.ssap);
+        out.push(self.control);
+        out.extend_from_slice(&self.info);
+        out
+    }
+
+    /// Build the full 802.3 frame: length-framed Ethernet header + LLC PDU,
+    /// padded to the 64-byte minimum.
+    pub fn to_8023_frame(
+        &self,
+        src: crate::EthernetAddress,
+        dst: crate::EthernetAddress,
+    ) -> Vec<u8> {
+        let pdu = self.to_bytes();
+        let mut frame = Vec::with_capacity(64);
+        frame.extend_from_slice(dst.as_bytes());
+        frame.extend_from_slice(src.as_bytes());
+        // 802.3: the third field is the PDU length, not an EtherType.
+        frame.extend_from_slice(&(pdu.len() as u16).to_be_bytes());
+        frame.extend_from_slice(&pdu);
+        while frame.len() < 60 {
+            frame.push(0); // pad (FCS not modelled)
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EthernetAddress;
+
+    #[test]
+    fn xid_roundtrip() {
+        let frame = LlcFrame::xid_probe();
+        assert!(frame.is_xid());
+        let parsed = LlcFrame::parse(&frame.to_bytes()).unwrap();
+        assert_eq!(parsed, frame);
+        assert_eq!(parsed.info, vec![0x81, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn frames_as_length_not_ethertype() {
+        let src = EthernetAddress([2, 0, 0, 0, 0, 1]);
+        let frame = LlcFrame::xid_probe().to_8023_frame(src, EthernetAddress::BROADCAST);
+        assert!(frame.len() >= 60);
+        let view = crate::ethernet::Frame::new_checked(&frame[..]).unwrap();
+        // The type field is the PDU length (6) — below 0x0600, so it is a
+        // length field, surfacing as Unknown.
+        assert_eq!(view.ethertype(), crate::EtherType::Unknown(6));
+        assert!(view.dst_addr().is_broadcast());
+        let pdu = LlcFrame::parse(&view.payload()[..6]).unwrap();
+        assert!(pdu.is_xid());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(LlcFrame::parse(&[0, 0]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn non_xid_control() {
+        let frame = LlcFrame {
+            dsap: 0x42,
+            ssap: 0x42,
+            control: 0x03, // UI frame (STP-style)
+            info: vec![],
+        };
+        assert!(!frame.is_xid());
+        assert_eq!(LlcFrame::parse(&frame.to_bytes()).unwrap(), frame);
+    }
+}

@@ -1,0 +1,265 @@
+//! NetBIOS Name Service (RFC 1002) — specifically the NBSTAT wildcard query
+//! used by the "innosdk" spyware SDK (§6.2, Table 5): the famous
+//! `CKAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA` first-level encoding of `*`.
+
+use crate::field;
+use crate::{Error, Result};
+
+/// The NetBIOS Name Service UDP port.
+pub const NBNS_PORT: u16 = 137;
+
+/// NBSTAT record type.
+pub const TYPE_NBSTAT: u16 = 0x0021;
+/// NB (name) record type.
+pub const TYPE_NB: u16 = 0x0020;
+
+/// First-level encode a 16-byte padded NetBIOS name: each nibble is mapped
+/// to `'A' + nibble`. The wildcard name `*` encodes to `CK` followed by 30
+/// `A`s — the exact payload in Table 5.
+pub fn encode_name(name: &str) -> String {
+    let mut padded = [0x20u8; 16]; // space padding
+    let bytes = name.as_bytes();
+    let n = bytes.len().min(16);
+    padded[..n].copy_from_slice(&bytes[..n]);
+    if name == "*" {
+        // The wildcard name is '*' followed by NULs, not spaces.
+        padded = [0u8; 16];
+        padded[0] = b'*';
+    }
+    let mut out = String::with_capacity(32);
+    for b in padded {
+        out.push((b'A' + (b >> 4)) as char);
+        out.push((b'A' + (b & 0x0f)) as char);
+    }
+    out
+}
+
+/// Decode a first-level-encoded name back to its 16 raw bytes.
+pub fn decode_name(encoded: &str) -> Result<[u8; 16]> {
+    let bytes = encoded.as_bytes();
+    if bytes.len() != 32 {
+        return Err(Error::Malformed);
+    }
+    let mut out = [0u8; 16];
+    for i in 0..16 {
+        let hi = bytes[2 * i].wrapping_sub(b'A');
+        let lo = bytes[2 * i + 1].wrapping_sub(b'A');
+        if hi > 0x0f || lo > 0x0f {
+            return Err(Error::Malformed);
+        }
+        out[i] = (hi << 4) | lo;
+    }
+    Ok(out)
+}
+
+/// A NetBIOS-NS query (the only message the SDK scan sends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    pub transaction_id: u16,
+    /// The queried name before encoding (e.g. `*` for NBSTAT enumeration).
+    pub name: String,
+    pub qtype: u16,
+}
+
+impl Query {
+    /// The NBSTAT wildcard scan datagram: what innosdk sends to every IP in
+    /// 192.168.0.0/24.
+    pub fn nbstat_wildcard(transaction_id: u16) -> Query {
+        Query {
+            transaction_id,
+            name: "*".into(),
+            qtype: TYPE_NBSTAT,
+        }
+    }
+
+    pub fn parse(data: &[u8]) -> Result<Query> {
+        if data.len() < 12 {
+            return Err(Error::Truncated);
+        }
+        let transaction_id = field::read_u16(data, 0)?;
+        let qdcount = field::read_u16(data, 4)?;
+        if qdcount != 1 {
+            return Err(Error::Malformed);
+        }
+        // Name: length byte (32), encoded name, NUL, then qtype/qclass.
+        let name_len = field::read_u8(data, 12)? as usize;
+        if name_len != 32 {
+            return Err(Error::Malformed);
+        }
+        let encoded = data.get(13..13 + 32).ok_or(Error::Truncated)?;
+        let encoded = std::str::from_utf8(encoded).map_err(|_| Error::Malformed)?;
+        let raw = decode_name(encoded)?;
+        let name = if raw[0] == b'*' {
+            "*".to_string()
+        } else {
+            String::from_utf8_lossy(&raw)
+                .trim_end_matches([' ', '\0'])
+                .to_string()
+        };
+        if field::read_u8(data, 45)? != 0 {
+            return Err(Error::Malformed);
+        }
+        let qtype = field::read_u16(data, 46)?;
+        Ok(Query {
+            transaction_id,
+            name,
+            qtype,
+        })
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(50);
+        out.extend_from_slice(&self.transaction_id.to_be_bytes());
+        out.extend_from_slice(&[0x00, 0x00]); // flags: query
+        out.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // ANCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // NSCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // ARCOUNT
+        out.push(32);
+        out.extend_from_slice(encode_name(&self.name).as_bytes());
+        out.push(0);
+        out.extend_from_slice(&self.qtype.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        out
+    }
+}
+
+/// An NBSTAT response: the node's name table, revealing machine and share
+/// names to the scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NbstatResponse {
+    pub transaction_id: u16,
+    pub names: Vec<String>,
+    pub mac: [u8; 6],
+}
+
+impl NbstatResponse {
+    pub fn parse(data: &[u8]) -> Result<NbstatResponse> {
+        if data.len() < 12 {
+            return Err(Error::Truncated);
+        }
+        let transaction_id = field::read_u16(data, 0)?;
+        let flags = field::read_u16(data, 2)?;
+        if flags & 0x8000 == 0 {
+            return Err(Error::Malformed);
+        }
+        // Skip name (34 bytes) + type/class (4) + ttl (4) + rdlength (2).
+        let num_names_pos = 12 + 34 + 4 + 4 + 2;
+        let num_names = field::read_u8(data, num_names_pos)? as usize;
+        let mut names = Vec::with_capacity(num_names);
+        let mut pos = num_names_pos + 1;
+        for _ in 0..num_names {
+            let raw = data.get(pos..pos + 15).ok_or(Error::Truncated)?;
+            names.push(String::from_utf8_lossy(raw).trim_end().to_string());
+            pos += 18; // 15 name + 1 suffix + 2 flags
+        }
+        let mac_bytes = data.get(pos..pos + 6).ok_or(Error::Truncated)?;
+        let mac: [u8; 6] = mac_bytes.try_into().unwrap();
+        Ok(NbstatResponse {
+            transaction_id,
+            names,
+            mac,
+        })
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(100);
+        out.extend_from_slice(&self.transaction_id.to_be_bytes());
+        out.extend_from_slice(&[0x84, 0x00]); // response, authoritative
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes()); // ANCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.push(32);
+        out.extend_from_slice(encode_name("*").as_bytes());
+        out.push(0);
+        out.extend_from_slice(&TYPE_NBSTAT.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes());
+        out.extend_from_slice(&0u32.to_be_bytes()); // TTL
+        let rdata_len = 1 + self.names.len() * 18 + 6 + 41; // + statistics pad
+        out.extend_from_slice(&(rdata_len as u16).to_be_bytes());
+        out.push(self.names.len() as u8);
+        for name in &self.names {
+            let mut padded = [b' '; 15];
+            let bytes = name.as_bytes();
+            let n = bytes.len().min(15);
+            padded[..n].copy_from_slice(&bytes[..n]);
+            out.extend_from_slice(&padded);
+            out.push(0x00); // suffix
+            out.extend_from_slice(&[0x04, 0x00]); // flags: active
+        }
+        out.extend_from_slice(&self.mac);
+        out.extend_from_slice(&[0u8; 41]); // statistics block
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_encoding_matches_table5() {
+        // Table 5's NetBIOS payload: "CKAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA".
+        assert_eq!(encode_name("*"), "CKAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA");
+    }
+
+    #[test]
+    fn name_decode_roundtrip() {
+        let encoded = encode_name("*");
+        let raw = decode_name(&encoded).unwrap();
+        assert_eq!(raw[0], b'*');
+        assert!(raw[1..].iter().all(|&b| b == 0));
+        assert!(decode_name("short").is_err());
+        assert!(decode_name(&"z".repeat(32)).is_err());
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let query = Query::nbstat_wildcard(0x0001);
+        let bytes = query.to_bytes();
+        // Table 5 shows the query starting 00 01 00 00 00 00 00 00 ... 20 43 4b 41...
+        assert_eq!(&bytes[..2], &[0x00, 0x01]);
+        assert_eq!(bytes[12], 0x20);
+        assert_eq!(bytes[13], 0x43); // 'C'
+        assert_eq!(bytes[14], 0x4b); // 'K'
+        let parsed = Query::parse(&bytes).unwrap();
+        assert_eq!(parsed, query);
+    }
+
+    #[test]
+    fn named_query_roundtrip() {
+        let query = Query {
+            transaction_id: 7,
+            name: "WORKGROUP".into(),
+            qtype: TYPE_NB,
+        };
+        let parsed = Query::parse(&query.to_bytes()).unwrap();
+        assert_eq!(parsed, query);
+    }
+
+    #[test]
+    fn nbstat_response_roundtrip() {
+        let response = NbstatResponse {
+            transaction_id: 1,
+            names: vec!["LIVINGROOM-TV".into(), "WORKGROUP".into()],
+            mac: [0x8c, 0x49, 0x62, 1, 2, 3],
+        };
+        let parsed = NbstatResponse::parse(&response.to_bytes()).unwrap();
+        assert_eq!(parsed, response);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let query = Query::nbstat_wildcard(1);
+        let bytes = query.to_bytes();
+        assert!(Query::parse(&bytes[..20]).is_err());
+        let response = NbstatResponse {
+            transaction_id: 1,
+            names: vec!["A".into()],
+            mac: [0; 6],
+        };
+        let rbytes = response.to_bytes();
+        assert!(NbstatResponse::parse(&rbytes[..40]).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! The classic libpcap file format, implemented from scratch.
+//!
+//! The MonIoTr testbed stores `tcpdump` captures "in separate files for each
+//! MAC address" (§3.1). This module writes and reads the standard
+//! little-endian pcap format (magic `0xa1b2c3d4`, LINKTYPE_ETHERNET) so the
+//! simulator's captures can be exported and re-imported byte-identically —
+//! and opened in Wireshark.
+
+use crate::{Error, Result};
+
+const MAGIC_LE: u32 = 0xa1b2_c3d4;
+const MAGIC_BE: u32 = 0xd4c3_b2a1;
+const VERSION_MAJOR: u16 = 2;
+const VERSION_MINOR: u16 = 4;
+const LINKTYPE_ETHERNET: u32 = 1;
+
+/// One captured packet: a timestamp and the raw frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Seconds since the epoch (simulation time in our captures).
+    pub ts_sec: u32,
+    /// Microseconds within the second.
+    pub ts_usec: u32,
+    pub data: Vec<u8>,
+}
+
+/// Serialize packets into a pcap file image.
+pub fn write_pcap(packets: &[PcapPacket]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + packets.iter().map(|p| 16 + p.data.len()).sum::<usize>());
+    out.extend_from_slice(&MAGIC_LE.to_le_bytes());
+    out.extend_from_slice(&VERSION_MAJOR.to_le_bytes());
+    out.extend_from_slice(&VERSION_MINOR.to_le_bytes());
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+    out.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+    for packet in packets {
+        out.extend_from_slice(&packet.ts_sec.to_le_bytes());
+        out.extend_from_slice(&packet.ts_usec.to_le_bytes());
+        out.extend_from_slice(&(packet.data.len() as u32).to_le_bytes()); // incl_len
+        out.extend_from_slice(&(packet.data.len() as u32).to_le_bytes()); // orig_len
+        out.extend_from_slice(&packet.data);
+    }
+    out
+}
+
+/// Parse a pcap file image back into packets. Handles both byte orders.
+pub fn read_pcap(data: &[u8]) -> Result<Vec<PcapPacket>> {
+    if data.len() < 24 {
+        return Err(Error::Truncated);
+    }
+    let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    let big_endian = match magic {
+        MAGIC_LE => false,
+        MAGIC_BE => true,
+        _ => return Err(Error::Malformed),
+    };
+    let read_u32 = |bytes: &[u8]| -> u32 {
+        let array: [u8; 4] = bytes.try_into().unwrap();
+        if big_endian {
+            u32::from_be_bytes(array)
+        } else {
+            u32::from_le_bytes(array)
+        }
+    };
+    let linktype = read_u32(&data[20..24]);
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(Error::Unsupported);
+    }
+    let mut packets = Vec::new();
+    let mut pos = 24;
+    while pos < data.len() {
+        let header = data.get(pos..pos + 16).ok_or(Error::Truncated)?;
+        let ts_sec = read_u32(&header[0..4]);
+        let ts_usec = read_u32(&header[4..8]);
+        let incl_len = read_u32(&header[8..12]) as usize;
+        let body = data
+            .get(pos + 16..pos + 16 + incl_len)
+            .ok_or(Error::Truncated)?;
+        packets.push(PcapPacket {
+            ts_sec,
+            ts_usec,
+            data: body.to_vec(),
+        });
+        pos += 16 + incl_len;
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packets() -> Vec<PcapPacket> {
+        vec![
+            PcapPacket {
+                ts_sec: 100,
+                ts_usec: 5,
+                data: vec![0xff; 60],
+            },
+            PcapPacket {
+                ts_sec: 101,
+                ts_usec: 250_000,
+                data: vec![0x01, 0x02, 0x03],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let packets = sample_packets();
+        let image = write_pcap(&packets);
+        assert_eq!(read_pcap(&image).unwrap(), packets);
+    }
+
+    #[test]
+    fn header_fields() {
+        let image = write_pcap(&[]);
+        assert_eq!(image.len(), 24);
+        assert_eq!(&image[0..4], &MAGIC_LE.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(image[20..24].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn big_endian_accepted() {
+        // Construct a minimal big-endian file with one packet.
+        let mut image = Vec::new();
+        image.extend_from_slice(&MAGIC_BE.to_le_bytes()); // stored as d4c3b2a1 LE == a1b2c3d4 BE read
+        image.extend_from_slice(&VERSION_MAJOR.to_be_bytes());
+        image.extend_from_slice(&VERSION_MINOR.to_be_bytes());
+        image.extend_from_slice(&0u32.to_be_bytes());
+        image.extend_from_slice(&0u32.to_be_bytes());
+        image.extend_from_slice(&65535u32.to_be_bytes());
+        image.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        image.extend_from_slice(&7u32.to_be_bytes());
+        image.extend_from_slice(&8u32.to_be_bytes());
+        image.extend_from_slice(&2u32.to_be_bytes());
+        image.extend_from_slice(&2u32.to_be_bytes());
+        image.extend_from_slice(&[0xaa, 0xbb]);
+        let packets = read_pcap(&image).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].ts_sec, 7);
+        assert_eq!(packets[0].data, vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut image = write_pcap(&sample_packets());
+        image[0] = 0;
+        assert_eq!(read_pcap(&image).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let image = write_pcap(&sample_packets());
+        assert_eq!(read_pcap(&image[..image.len() - 1]).unwrap_err(), Error::Truncated);
+        assert_eq!(read_pcap(&image[..30]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,129 @@
+//! STUN (RFC 5389) message headers.
+//!
+//! STUN appears in Figure 2's passive protocol mix, and Appendix C.2 notes
+//! that Google's UDP 10000–10010 traffic is *misclassified* as STUN by both
+//! nDPI and tshark. The magic-cookie check here is what separates real STUN
+//! from that RTP lookalike traffic.
+
+use crate::field;
+use crate::{Error, Result};
+
+/// The STUN magic cookie.
+pub const MAGIC_COOKIE: u32 = 0x2112_a442;
+
+/// STUN header length.
+pub const HEADER_LEN: usize = 20;
+
+/// STUN method/class combinations we distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    BindingRequest,
+    BindingResponse,
+    Other(u16),
+}
+
+/// A parsed STUN header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    pub kind: MessageKind,
+    pub length: u16,
+    pub transaction_id: [u8; 12],
+}
+
+impl Header {
+    pub fn parse(data: &[u8]) -> Result<Header> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let msg_type = field::read_u16(data, 0)?;
+        if msg_type & 0xc000 != 0 {
+            return Err(Error::Malformed); // top two bits must be zero
+        }
+        if field::read_u32(data, 4)? != MAGIC_COOKIE {
+            return Err(Error::Malformed);
+        }
+        let kind = match msg_type {
+            0x0001 => MessageKind::BindingRequest,
+            0x0101 => MessageKind::BindingResponse,
+            other => MessageKind::Other(other),
+        };
+        let transaction_id: [u8; 12] = data[8..20].try_into().unwrap();
+        Ok(Header {
+            kind,
+            length: field::read_u16(data, 2)?,
+            transaction_id,
+        })
+    }
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; HEADER_LEN];
+        let msg_type = match self.kind {
+            MessageKind::BindingRequest => 0x0001,
+            MessageKind::BindingResponse => 0x0101,
+            MessageKind::Other(t) => t,
+        };
+        out[0..2].copy_from_slice(&msg_type.to_be_bytes());
+        out[2..4].copy_from_slice(&self.length.to_be_bytes());
+        out[4..8].copy_from_slice(&MAGIC_COOKIE.to_be_bytes());
+        out[8..20].copy_from_slice(&self.transaction_id);
+        out
+    }
+
+    /// True if `data` begins with a well-formed STUN header (the check the
+    /// honest classifier applies before labeling traffic STUN).
+    pub fn looks_like_stun(data: &[u8]) -> bool {
+        Header::parse(data).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_roundtrip() {
+        let header = Header {
+            kind: MessageKind::BindingRequest,
+            length: 0,
+            transaction_id: [7; 12],
+        };
+        let bytes = header.to_bytes();
+        assert_eq!(Header::parse(&bytes).unwrap(), header);
+        assert!(Header::looks_like_stun(&bytes));
+    }
+
+    #[test]
+    fn rtp_is_not_stun() {
+        // An RTP header (version bits 10) fails the top-two-bits-zero rule —
+        // the distinction the paper's tools got wrong.
+        let rtp = crate::rtp::Header {
+            payload_type: 96,
+            sequence: 1,
+            timestamp: 2,
+            ssrc: 3,
+            marker: false,
+            csrc_count: 0,
+        }
+        .to_bytes();
+        let mut padded = rtp.clone();
+        padded.resize(20, 0);
+        assert!(!Header::looks_like_stun(&padded));
+    }
+
+    #[test]
+    fn missing_cookie_rejected() {
+        let header = Header {
+            kind: MessageKind::BindingResponse,
+            length: 4,
+            transaction_id: [0; 12],
+        };
+        let mut bytes = header.to_bytes();
+        bytes[4] = 0;
+        assert_eq!(Header::parse(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Header::parse(&[0; 19]).unwrap_err(), Error::Truncated);
+    }
+}
