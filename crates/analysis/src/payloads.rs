@@ -36,9 +36,7 @@ pub fn payload_examples(table: &FlowTable) -> Vec<PayloadExample> {
                 .unwrap_or_else(|_| hexdump(payload)),
             "NETBIOS" => hexdump(payload),
             "TPLINK_SHP" => iotlan_wire::tplink::Message::from_udp_bytes(payload)
-                .map(|m| {
-                    serde_json_pretty(&m.body)
-                })
+                .map(|m| m.body.pretty())
                 .unwrap_or_else(|_| hexdump(payload)),
             "TuyaLP" => iotlan_wire::tuya::Frame::parse(payload)
                 .map(|f| f.payload.to_string())
@@ -51,10 +49,6 @@ pub fn payload_examples(table: &FlowTable) -> Vec<PayloadExample> {
         });
     }
     out
-}
-
-fn serde_json_pretty(value: &iotlan_wire::JsonValue) -> String {
-    value.to_string()
 }
 
 /// The classic offset/hex/ASCII dump (Table 5's NetBIOS row format).

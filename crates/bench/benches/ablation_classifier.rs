@@ -2,7 +2,7 @@
 //! nDPI signatures vs nDPI + the paper's manual rules, scored against the
 //! strict-parse ground truth. Shows *why* §3.5 needed manual augmentation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_bench::bench_lab;
 use iotlan_core::classify::flow::Transport;
 use iotlan_core::classify::rules::{classify_with_rules, paper_rules};
@@ -68,9 +68,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

@@ -3,7 +3,7 @@
 //! GE-Microwave randomized scheme, measured as distinct stable identifiers
 //! a DHCP-observing adversary collects across lease renewals.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_core::devices::config::{Category, DeviceConfig, HostnameScheme};
 use iotlan_core::wire::ethernet::EthernetAddress;
 use std::collections::BTreeSet;
@@ -52,9 +52,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

@@ -2,7 +2,7 @@
 //! uniqueness — what Table 2 would look like if vendors stripped UUIDs/MACs
 //! from discovery payloads (the §7 "data exposure minimization" mitigation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_core::inspector::{dataset, entropy};
 
 fn strip_identifiers(data: &mut dataset::Dataset, strip_uuid: bool, strip_mac: bool) {
@@ -87,9 +87,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

@@ -3,7 +3,7 @@
 //! "Discovery Intervals"): higher frequency → faster, finer-grained
 //! knowledge of who is home.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_core::devices::{build_testbed, Device};
 use iotlan_core::netsim::router::Router;
 use iotlan_core::netsim::{Network, SimDuration};
@@ -40,9 +40,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

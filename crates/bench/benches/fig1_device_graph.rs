@@ -1,7 +1,7 @@
 //! Figure 1: the device-to-device transport graph (unicast TCP/UDP edges
 //! among the 93 devices; paper: 43/93 devices have a local peer).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_bench::bench_lab;
 use iotlan_core::experiments;
 
@@ -15,9 +15,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

@@ -1,7 +1,7 @@
 //! Figure 2: protocol prevalence across passive capture, active scans and
 //! the 2,335-app dataset.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_bench::bench_lab;
 use iotlan_core::apps::{build_population, AppCensusReport};
 use iotlan_core::experiments;
@@ -37,9 +37,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

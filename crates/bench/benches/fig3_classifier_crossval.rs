@@ -1,6 +1,6 @@
 //! Figure 3 / Appendix C.2: nDPI-vs-tshark cross-validation heatmap.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_bench::bench_lab;
 use iotlan_core::classify::crossval;
 use iotlan_core::experiments;
@@ -15,9 +15,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

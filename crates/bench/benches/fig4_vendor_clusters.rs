@@ -1,6 +1,6 @@
 //! Figure 4: the Google/Amazon/Apple intra-vendor clusters.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_bench::bench_lab;
 use iotlan_core::experiments;
 
@@ -21,9 +21,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

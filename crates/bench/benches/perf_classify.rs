@@ -1,6 +1,6 @@
 //! Performance: flow assembly and classification throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iotlan_util::bench::{Criterion, Throughput};
 use iotlan_bench::small_lab;
 use iotlan_core::classify::rules::{classify_with_rules, paper_rules};
 use iotlan_core::classify::{truth, FlowTable};
@@ -31,9 +31,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

@@ -1,6 +1,6 @@
 //! Performance: simulator throughput (simulated seconds per wall second).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_core::netsim::SimDuration;
 use iotlan_core::{Lab, LabConfig};
 
@@ -25,9 +25,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

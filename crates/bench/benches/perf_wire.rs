@@ -1,6 +1,6 @@
 //! Performance: wire-format parse/emit throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iotlan_util::bench::{Criterion, Throughput};
 use iotlan_core::wire::{dns, ssdp, tplink};
 
 fn bench(c: &mut Criterion) {
@@ -44,9 +44,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

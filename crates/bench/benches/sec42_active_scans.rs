@@ -1,6 +1,6 @@
 //! §4.2: the nmap-style sweeps (TCP 1–65535, UDP 1–1024, IP-protocol).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_core::devices::build_testbed;
 use iotlan_core::experiments;
 use iotlan_core::scan::portscan;
@@ -31,9 +31,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

@@ -1,6 +1,6 @@
 //! §5.2: the Nessus-style vulnerability findings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_core::devices::build_testbed;
 use iotlan_core::experiments;
 
@@ -24,9 +24,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

@@ -5,7 +5,7 @@
 //! wire traffic and taint-tracked exfiltration records, not from the
 //! generator's configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_core::apps::{build_population, AppCensusReport, Phone};
 use iotlan_core::netsim::SimDuration;
 use iotlan_core::{experiments, Lab, LabConfig};
@@ -44,9 +44,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

@@ -1,7 +1,7 @@
 //! Table 2: household fingerprintability entropy over the synthetic
 //! IoT Inspector dataset.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_core::experiments;
 use iotlan_core::inspector::{dataset, entropy};
 
@@ -14,9 +14,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

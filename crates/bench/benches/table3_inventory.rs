@@ -1,6 +1,6 @@
 //! Table 3: the 93-device testbed inventory.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iotlan_util::bench::Criterion;
 use iotlan_core::devices::build_testbed;
 use iotlan_core::experiments;
 
@@ -10,9 +10,4 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table3/build_testbed", |b| b.iter(build_testbed));
 }
 
-criterion_group! {
-    name = benches;
-    config = iotlan_bench::bench_config!();
-    targets = bench
-}
-criterion_main!(benches);
+iotlan_util::bench_main!(bench);

@@ -1,8 +1,12 @@
 //! Shared setup for the experiment benches.
 //!
 //! Every bench target regenerates its table/figure (printing the
-//! paper-vs-measured block once) and then Criterion-measures the underlying
-//! computation on the same data. One bench process = one lab build.
+//! paper-vs-measured block once) and then measures the underlying
+//! computation on the same data with the in-tree `iotlan_util::bench`
+//! harness. One bench process = one lab build. Targets declare their entry
+//! point with `iotlan_util::bench_main!(bench);`, which wires up
+//! command-line configuration (`--quick`, `--sample-size N`, substring
+//! filters).
 
 use iotlan_core::{Lab, LabConfig};
 use iotlan_core::netsim::SimDuration;
@@ -27,15 +31,4 @@ pub fn small_lab() -> Lab {
     let mut lab = Lab::new(LabConfig::fast());
     lab.run_idle();
     lab
-}
-
-/// Criterion config used across benches: few samples, the computations are
-/// deterministic and not micro-scale.
-#[macro_export]
-macro_rules! bench_config {
-    () => {
-        criterion::Criterion::default()
-            .sample_size(10)
-            .configure_from_args()
-    };
 }

@@ -9,7 +9,7 @@ use iotlan_classify::{crossval, ndpi, truth, tshark};
 use iotlan_netsim::stack::{self, Endpoint};
 use iotlan_netsim::SimTime;
 use iotlan_wire::ethernet::EthernetAddress;
-use proptest::prelude::*;
+use iotlan_util::props;
 use std::net::Ipv4Addr;
 
 fn ep(last: u8) -> Endpoint {
@@ -19,17 +19,15 @@ fn ep(last: u8) -> Endpoint {
     }
 }
 
-proptest! {
+props! {
     /// Arbitrary UDP payloads to arbitrary ports: every classifier returns
     /// a label, none panics, and they never disagree about the L2/L3 class.
-    #[test]
-    fn classifiers_total_on_random_udp(
-        src in 1u8..250,
-        dst in 1u8..250,
-        sport in 1u16..65535,
-        dport in 1u16..65535,
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
+    fn classifiers_total_on_random_udp(g) {
+        let src = g.int_in(1u8..250);
+        let dst = g.int_in(1u8..250);
+        let sport = g.int_in(1u16..65535);
+        let dport = g.int_in(1u16..65535);
+        let payload = g.bytes(255);
         let mut table = FlowTable::default();
         table.add_frame(
             SimTime::ZERO,
@@ -41,17 +39,15 @@ proptest! {
             let n = ndpi::classify(flow);
             let s = tshark::classify(flow);
             let r = classify_with_rules(flow, &rules);
-            prop_assert!(!t.is_empty() && !n.is_empty() && !s.is_empty() && !r.is_empty());
+            assert!(!t.is_empty() && !n.is_empty() && !s.is_empty() && !r.is_empty());
         }
     }
 
     /// Random TCP payloads: same totality property.
-    #[test]
-    fn classifiers_total_on_random_tcp(
-        sport in 1u16..65535,
-        dport in 1u16..65535,
-        payload in proptest::collection::vec(any::<u8>(), 0..128),
-    ) {
+    fn classifiers_total_on_random_tcp(g) {
+        let sport = g.int_in(1u16..65535);
+        let dport = g.int_in(1u16..65535);
+        let payload = g.bytes(127);
         let mut table = FlowTable::default();
         table.add_frame(
             SimTime::ZERO,
@@ -73,8 +69,8 @@ proptest! {
 
     /// On well-formed mDNS traffic, the manual rules never change a correct
     /// nDPI answer (the overlay only corrects documented errors).
-    #[test]
-    fn rules_preserve_correct_mdns(names in proptest::collection::vec("[a-z]{1,10}", 1..3)) {
+    fn rules_preserve_correct_mdns(g) {
+        let names = g.vec_of(1, 2, |g| g.label(1, 10));
         let questions: Vec<(&str, iotlan_wire::dns::RecordType)> = names
             .iter()
             .map(|n| (n.as_str(), iotlan_wire::dns::RecordType::Ptr))
@@ -93,14 +89,14 @@ proptest! {
         );
         let rules = paper_rules();
         let flow = &table.flows[0];
-        prop_assert_eq!(ndpi::classify(flow), "mDNS");
-        prop_assert_eq!(classify_with_rules(flow, &rules), "mDNS");
+        assert_eq!(ndpi::classify(flow), "mDNS");
+        assert_eq!(classify_with_rules(flow, &rules), "mDNS");
     }
 
     /// Flow aggregates (count, total packets) are invariant under frame
     /// reordering.
-    #[test]
-    fn flow_aggregates_order_invariant(seed in 0u64..1000) {
+    fn flow_aggregates_order_invariant(g) {
+        let seed = g.int_in(0u64..1000);
         let mut frames = Vec::new();
         for i in 0..20u8 {
             frames.push(stack::udp_unicast(
@@ -127,19 +123,22 @@ proptest! {
         for (i, frame) in shuffled.iter().enumerate() {
             backward.add_frame(SimTime::from_secs(i as u64), frame);
         }
-        prop_assert_eq!(forward.len(), backward.len());
-        prop_assert_eq!(forward.total_packets(), backward.total_packets());
+        assert_eq!(forward.len(), backward.len());
+        assert_eq!(forward.total_packets(), backward.total_packets());
     }
 
     /// Cross-validation statistics are well-formed for any traffic mix:
     /// fractions in [0,1] and labeled+unlabeled consistent.
-    #[test]
-    fn crossval_fractions_well_formed(
-        frames in proptest::collection::vec(
-            (1u8..250, 1u8..250, 1u16..65535, 1u16..65535, proptest::collection::vec(any::<u8>(), 0..64)),
-            1..30,
-        )
-    ) {
+    fn crossval_fractions_well_formed(g) {
+        let frames = g.vec_of(1, 29, |g| {
+            (
+                g.int_in(1u8..250),
+                g.int_in(1u8..250),
+                g.int_in(1u16..65535),
+                g.int_in(1u16..65535),
+                g.bytes(63),
+            )
+        });
         let mut table = FlowTable::default();
         for (i, (src, dst, sport, dport, payload)) in frames.iter().enumerate() {
             table.add_frame(
@@ -150,9 +149,9 @@ proptest! {
         let cv = crossval::cross_validate(&table);
         let a = cv.agreement;
         for fraction in [a.tshark_labeled, a.ndpi_labeled, a.disagree, a.neither] {
-            prop_assert!((0.0..=1.0).contains(&fraction), "{fraction}");
+            assert!((0.0..=1.0).contains(&fraction), "{fraction}");
         }
-        prop_assert_eq!(a.total_flows as usize, table.len());
-        prop_assert_eq!(cv.matrix.total as usize, table.len());
+        assert_eq!(a.total_flows as usize, table.len());
+        assert_eq!(cv.matrix.total as usize, table.len());
     }
 }

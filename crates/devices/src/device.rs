@@ -9,7 +9,6 @@ use iotlan_netsim::{Context, Node, SimDuration};
 use iotlan_wire::ethernet::{build_frame, EtherType, EthernetAddress};
 use iotlan_wire::tls::{Handshake, Version as TlsVersion};
 use iotlan_wire::{arp, coap, dhcpv4, dns, eapol, icmpv4, icmpv6, igmp, ipv6, lifx, rtp, ssdp, tcp, tplink, tuya};
-use rand::Rng;
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
@@ -152,7 +151,7 @@ impl Device {
     fn send_dhcp_discover(&mut self, ctx: &mut Context) {
         self.hostname_nonce = self.hostname_nonce.wrapping_mul(6364136223846793005).wrapping_add(1);
         let discover = dhcpv4::Repr::discover(
-            ctx.rng().gen(),
+            ctx.rng().gen_u32(),
             self.config.mac,
             self.config.hostname_string(self.hostname_nonce),
             self.config.dhcp_vendor_class.clone(),
@@ -541,7 +540,7 @@ impl Device {
         let Some(coap_config) = self.config.coap.clone() else {
             return;
         };
-        let message = coap::Message::get(ctx.rng().gen(), &coap_config.uri_path);
+        let message = coap::Message::get(ctx.rng().gen_u16(), &coap_config.uri_path);
         let frame = if coap_config.multicast {
             stack::udp_multicast(
                 self.endpoint,

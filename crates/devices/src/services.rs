@@ -206,7 +206,7 @@ impl ServiceKind {
                 } else {
                     Some(
                         tplink::Message {
-                            body: serde_json::json!({"system":{"set_relay_state":{"err_code":0}}}),
+                            body: iotlan_util::json!({"system":{"set_relay_state":{"err_code":0}}}),
                         }
                         .to_tcp_bytes(),
                     )
@@ -360,7 +360,7 @@ mod tests {
         let response = tplink::Message::from_tcp_bytes(&response_bytes).unwrap();
         assert_eq!(
             response.body["system"]["set_relay_state"]["err_code"],
-            serde_json::json!(0)
+            iotlan_util::json!(0)
         );
         // Sysinfo query returns the configured (geolocated) info.
         let query = tplink::Message::get_sysinfo().to_tcp_bytes();

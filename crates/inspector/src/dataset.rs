@@ -11,8 +11,7 @@
 //! Roku.
 
 use crate::hashes;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iotlan_util::rng::Rng;
 
 /// What identifier types a product's discovery payloads expose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -213,29 +212,29 @@ pub fn product_universe() -> Vec<Product> {
     products
 }
 
-fn random_mac(rng: &mut StdRng, oui: &str) -> String {
+fn random_mac(rng: &mut Rng, oui: &str) -> String {
     format!(
         "{}:{:02x}:{:02x}:{:02x}",
         oui,
-        rng.gen::<u8>(),
-        rng.gen::<u8>(),
-        rng.gen::<u8>()
+        rng.gen_u8(),
+        rng.gen_u8(),
+        rng.gen_u8()
     )
 }
 
-fn random_uuid(rng: &mut StdRng) -> String {
+fn random_uuid(rng: &mut Rng) -> String {
     format!(
         "{:08x}-{:04x}-4{:03x}-{:04x}-{:012x}",
-        rng.gen::<u32>(),
-        rng.gen::<u16>(),
-        rng.gen::<u16>() & 0xfff,
-        rng.gen::<u16>(),
-        rng.gen::<u64>() & 0xffff_ffff_ffff
+        rng.gen_u32(),
+        rng.gen_u16(),
+        rng.gen_u16() & 0xfff,
+        rng.gen_u16(),
+        rng.gen_u64() & 0xffff_ffff_ffff
     )
 }
 
 fn make_payloads(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     product: &Product,
     mac: &str,
 ) -> (Vec<String>, Vec<String>, Option<String>) {
@@ -312,17 +311,17 @@ fn make_payloads(
 
 /// Generate a dataset.
 pub fn generate(config: &GeneratorConfig) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let products = product_universe();
     let total_weight: u32 = products.iter().map(|p| p.weight).sum();
 
     let mut households = Vec::with_capacity(config.households);
     for house_index in 0..config.households {
-        let salt: [u8; 16] = rng.gen();
+        let salt: [u8; 16] = rng.gen_array();
         let user_id = hashes::to_hex(&hashes::sha256(&salt))[..16].to_string();
         // Household size: median 3 (1..=9, weighted toward small).
         let size = *[1usize, 2, 2, 3, 3, 3, 3, 4, 4, 5, 6]
-            .get(rng.gen_range(0..11))
+            .get(rng.gen_range(0..11usize))
             .unwrap();
         let mut devices = Vec::with_capacity(size);
         for _ in 0..size {
@@ -359,7 +358,7 @@ pub fn generate(config: &GeneratorConfig) -> Dataset {
     Dataset { households }
 }
 
-fn make_device(rng: &mut StdRng, product: &Product, salt: &[u8]) -> Device {
+fn make_device(rng: &mut Rng, product: &Product, salt: &[u8]) -> Device {
     let mac = random_mac(rng, &product.oui);
     let (mdns_responses, ssdp_responses, display_name) = make_payloads(rng, product, &mac);
     let dhcp_hostname = if rng.gen_bool(0.67) {
@@ -384,7 +383,7 @@ fn make_device(rng: &mut StdRng, product: &Product, salt: &[u8]) -> Device {
         .map(|k| FlowWindow {
             ts: k * 5,
             remote_port: *[443u16, 8009, 1900, 5353, 80]
-                .get(rng.gen_range(0..5))
+                .get(rng.gen_range(0..5usize))
                 .unwrap(),
             bytes_sent: rng.gen_range(60..5_000),
             bytes_received: rng.gen_range(60..50_000),

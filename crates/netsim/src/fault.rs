@@ -2,8 +2,7 @@
 //! single-octet corruption, and a size limit. Used by the robustness tests
 //! to prove the analysis pipeline survives adverse captures.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iotlan_util::rng::Rng;
 
 /// Configuration and state for the fault injector. A `chance` of 0.15 means
 /// 15%, the starting value the smoltcp README recommends.
@@ -13,7 +12,7 @@ pub struct FaultInjector {
     pub corrupt_chance: f64,
     /// Frames longer than this are dropped (None = unlimited).
     pub size_limit: Option<usize>,
-    rng: StdRng,
+    rng: Rng,
     dropped: u64,
     corrupted: u64,
 }
@@ -41,7 +40,7 @@ impl FaultInjector {
             drop_chance,
             corrupt_chance,
             size_limit,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             dropped: 0,
             corrupted: 0,
         }

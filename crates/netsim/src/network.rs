@@ -5,8 +5,7 @@ use crate::capture::Capture;
 use crate::fault::{FaultInjector, Verdict};
 use crate::time::{SimDuration, SimTime};
 use iotlan_wire::ethernet::{EthernetAddress, Frame};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iotlan_util::rng::Rng;
 use std::any::Any;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -51,7 +50,7 @@ pub struct Context<'a> {
     now: SimTime,
     actions: &'a mut Vec<(NodeId, Action)>,
     node_id: NodeId,
-    rng: &'a mut StdRng,
+    rng: &'a mut Rng,
 }
 
 impl<'a> Context<'a> {
@@ -78,7 +77,7 @@ impl<'a> Context<'a> {
 
     /// The network's deterministic RNG (shared; draws interleave with other
     /// nodes' draws in event order, which is itself deterministic).
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         self.rng
     }
 }
@@ -122,7 +121,7 @@ pub struct Network {
     queue: BinaryHeap<Event>,
     now: SimTime,
     seq: u64,
-    rng: StdRng,
+    rng: Rng,
     /// The promiscuous AP capture (the paper's tcpdump vantage point).
     pub capture: Capture,
     /// Medium fault injection.
@@ -139,7 +138,7 @@ impl Network {
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             capture: Capture::new(),
             faults: FaultInjector::none(),
             frames_sent: 0,

@@ -4,7 +4,7 @@
 use iotlan_netsim::stack::{self, Endpoint};
 use iotlan_netsim::{Context, FaultInjector, Network, Node, SimDuration};
 use iotlan_wire::ethernet::EthernetAddress;
-use proptest::prelude::*;
+use iotlan_util::props;
 use std::any::Any;
 use std::net::Ipv4Addr;
 
@@ -62,41 +62,45 @@ fn build(seed: u64, nodes: u8, count: u32, interval_ms: u64) -> Network {
     network
 }
 
-proptest! {
+props! {
     /// Two runs with the same seed produce byte-identical captures;
     /// a different seed may differ but never crashes.
-    #[test]
-    fn deterministic_capture(seed in any::<u64>(), nodes in 2u8..6, count in 1u32..10) {
+    fn deterministic_capture(g) {
+        let seed = g.u64();
+        let nodes = g.int_in(2u8..6);
+        let count = g.int_in(1u32..10);
         let run = |seed| {
             let mut network = build(seed, nodes, count, 50);
             network.run_for(SimDuration::from_secs(5));
             network.capture.to_pcap()
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(seed), run(seed));
     }
 
     /// Without faults: every broadcast is heard by every *other* node, and
     /// the capture records exactly the transmitted frames.
-    #[test]
-    fn broadcast_conservation(nodes in 2u8..6, count in 1u32..8) {
+    fn broadcast_conservation(g) {
+        let nodes = g.int_in(2u8..6);
+        let count = g.int_in(1u32..8);
         let mut network = build(1, nodes, count, 10);
         network.run_for(SimDuration::from_secs(2));
         let transmitted = u64::from(nodes) * u64::from(count);
-        prop_assert_eq!(network.frames_sent(), transmitted);
-        prop_assert_eq!(network.capture.len() as u64, transmitted);
+        assert_eq!(network.frames_sent(), transmitted);
+        assert_eq!(network.capture.len() as u64, transmitted);
         let mut total_heard = 0;
         for id in 0..network.node_count() {
             let beacon = network.node(id).as_any().downcast_ref::<Beacon>().unwrap();
             total_heard += beacon.heard;
         }
         // Each frame is heard by (nodes - 1) receivers.
-        prop_assert_eq!(total_heard, transmitted * (u64::from(nodes) - 1));
+        assert_eq!(total_heard, transmitted * (u64::from(nodes) - 1));
     }
 
     /// With drop probability p, delivered ≤ transmitted, and the injector's
     /// accounting matches the delivery deficit exactly.
-    #[test]
-    fn fault_accounting(seed in any::<u64>(), drop_pct in 0u32..=100) {
+    fn fault_accounting(g) {
+        let seed = g.u64();
+        let drop_pct = g.int_in(0u32..=100);
         let drop = f64::from(drop_pct) / 100.0;
         let mut network = build(3, 3, 6, 10);
         network.faults = FaultInjector::new(drop, 0.0, None, seed);
@@ -108,18 +112,18 @@ proptest! {
             let beacon = network.node(id).as_any().downcast_ref::<Beacon>().unwrap();
             total_heard += beacon.heard;
         }
-        prop_assert_eq!(total_heard, (transmitted - dropped) * 2);
+        assert_eq!(total_heard, (transmitted - dropped) * 2);
         // Captures record pre-drop transmissions.
-        prop_assert_eq!(network.capture.len() as u64, transmitted);
+        assert_eq!(network.capture.len() as u64, transmitted);
     }
 
     /// Corruption never changes frame counts, only contents; receivers
     /// must tolerate every corrupted frame without panicking.
-    #[test]
-    fn corruption_tolerated(seed in any::<u64>()) {
+    fn corruption_tolerated(g) {
+        let seed = g.u64();
         let mut network = build(5, 4, 5, 10);
         network.faults = FaultInjector::new(0.0, 1.0, None, seed);
         network.run_for(SimDuration::from_secs(2));
-        prop_assert_eq!(network.capture.len() as u64, network.frames_sent());
+        assert_eq!(network.capture.len() as u64, network.frames_sent());
     }
 }

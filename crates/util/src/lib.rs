@@ -1,0 +1,30 @@
+//! # iotlan-util
+//!
+//! The workspace's std-only foundation. Every facility here exists so the
+//! build is *hermetic*: `cargo build --offline` must succeed on a machine
+//! that has never talked to a registry, which rules out every external
+//! crate. The paper's pipeline (Girish et al., IMC '23) is deterministic by
+//! design — seeded simulation over a fixed device catalog — so nothing the
+//! workspace does actually requires more than the standard library.
+//!
+//! Four modules replace the four external dependencies the seed tree had:
+//!
+//! * [`rng`] — a SplitMix64-seeded xoshiro256++ PRNG (replaces `rand`).
+//!   Streams can be split deterministically so each simulated device can
+//!   own an independent sequence.
+//! * [`json`] — a minimal JSON document model, parser and serializer
+//!   (replaces `serde`/`serde_json`). TPLINK-SHP and TuyaLP carry JSON on
+//!   the wire; Table 5 reproduces those payloads byte-for-byte.
+//! * [`bench`] — a tiny measurement harness with a Criterion-compatible
+//!   call surface and machine-readable JSON-lines output (replaces
+//!   `criterion`), driven by the [`bench_main!`] macro.
+//! * [`check`] — seeded property checks with failure shrinking by size
+//!   bisection (replaces `proptest`), driven by the [`props!`] macro.
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+
+pub use json::Value as JsonValue;
+pub use rng::Rng;

@@ -1,0 +1,172 @@
+//! JSON round-trip properties and wire-fixture tests.
+//!
+//! The `util::json` module exists to carry TPLINK-SHP and TuyaLP payloads,
+//! so the tests pin (a) `parse ∘ emit = id` over arbitrary generated values
+//! and (b) exact behaviour on the Table 5 payloads the paper reproduces.
+
+use iotlan_util::check::Gen;
+use iotlan_util::json::{self, Map, Number, Value};
+use iotlan_util::props;
+
+/// An arbitrary JSON value; `depth` bounds nesting so generation terminates.
+fn arb_value(g: &mut Gen, depth: u32) -> Value {
+    let pick = if depth == 0 {
+        g.int_in(0u8..4) // leaves only
+    } else {
+        g.int_in(0u8..6)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(g.bool()),
+        2 => {
+            if g.bool() {
+                Value::Number(Number::Int(g.u64() as i64))
+            } else {
+                // Finite floats only: non-finite serializes to null by design.
+                let f = (g.u32() as f64 - f64::from(u32::MAX / 2)) / 1024.0;
+                Value::Number(Number::Float(f))
+            }
+        }
+        3 => Value::String(arb_string(g)),
+        4 => Value::Array(g.vec_of(0, 4, |g| arb_value(g, depth - 1))),
+        _ => {
+            let mut object = Map::new();
+            // Distinct keys: duplicate keys collapse (last wins) and would
+            // break the identity.
+            for i in 0..g.int_in(0usize..=4) {
+                let key = format!("{}{i}", g.label(1, 8));
+                let value = arb_value(g, depth - 1);
+                object.insert(key, value);
+            }
+            Value::Object(object)
+        }
+    }
+}
+
+/// Strings exercising escapes, control chars and non-ASCII.
+fn arb_string(g: &mut Gen) -> String {
+    let alphabet: Vec<char> = "ab \"\\/\n\t\r\u{8}\u{c}\u{0}\u{1f}é日🦀".chars().collect();
+    let len = g.len(16);
+    (0..len)
+        .map(|_| *g.rng().choose(&alphabet).unwrap())
+        .collect()
+}
+
+props! {
+    /// parse(emit(v)) == v for arbitrary values, compact form.
+    fn parse_emit_identity(g) {
+        let value = arb_value(g, 4);
+        let text = value.to_string();
+        let back = json::from_str(&text).unwrap_or_else(|e| {
+            panic!("emitted JSON failed to parse: {e:?}\n{text}")
+        });
+        assert_eq!(back, value, "{text}");
+    }
+
+    /// Same identity through the pretty printer.
+    fn parse_pretty_identity(g) {
+        let value = arb_value(g, 3);
+        let back = json::from_str(&value.pretty()).unwrap();
+        assert_eq!(back, value);
+    }
+
+    /// emit(parse(t)) == t for already-compact emitted text: the serializer
+    /// is canonical over its own output.
+    fn emit_is_canonical(g) {
+        let text = arb_value(g, 4).to_string();
+        let reparsed = json::from_str(&text).unwrap();
+        assert_eq!(reparsed.to_string(), text);
+    }
+
+    /// Object key order survives the round trip (TPLINK-SHP payloads are
+    /// rendered for Table 5, so field order must be stable).
+    fn object_order_preserved(g) {
+        let mut object = Map::new();
+        let n = g.int_in(2usize..=8);
+        for i in 0..n {
+            object.insert(format!("k{i}_{}", g.label(1, 5)), Value::from(i as i64));
+        }
+        let keys: Vec<String> = object.iter().map(|(k, _)| k.clone()).collect();
+        let value = Value::Object(object);
+        let back = json::from_str(&value.to_string()).unwrap();
+        let back_keys: Vec<String> =
+            back.as_object().unwrap().iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(back_keys, keys);
+    }
+
+    /// Parsing arbitrary bytes never panics.
+    fn parse_no_panic_on_garbage(g) {
+        let data = g.bytes(256);
+        let _ = json::from_slice(&data);
+    }
+
+    /// Integers round-trip exactly across the full i64 range.
+    fn i64_exact_roundtrip(g) {
+        let n = g.u64() as i64;
+        let back = json::from_str(&Value::from(n).to_string()).unwrap();
+        assert_eq!(back.as_i64(), Some(n));
+    }
+}
+
+/// Table 5, row "TPLINK-SHP response": the HS110 sysinfo disclosure with the
+/// MonIoTr lab coordinates. Exact field values from the paper.
+const TABLE5_SYSINFO: &str = concat!(
+    r#"{"system":{"get_sysinfo":{"sw_ver":"1.5.8 Build 180815 Rel.135935","#,
+    r#""hw_ver":"2.1","model":"HS110(EU)","#,
+    r#""deviceId":"8006E8E9017F556D283C850B4E29BC1F185334E5","#,
+    r#""hwId":"044A516EE63C875F53FF9D64D33E29E9","#,
+    r#""oemId":"1998A14DAA86E4E001FD7CAF42868B5E","#,
+    r#""alias":"Living room plug","dev_name":"Wi-Fi Smart Plug With Energy Monitoring","#,
+    r#""relay_state":1,"latitude":42.337681,"longitude":-71.087036,"err_code":0}}}"#
+);
+
+#[test]
+fn table5_sysinfo_fixture_parses_exactly() {
+    let body = json::from_str(TABLE5_SYSINFO).unwrap();
+    let info = &body["system"]["get_sysinfo"];
+    assert_eq!(
+        info["deviceId"].as_str(),
+        Some("8006E8E9017F556D283C850B4E29BC1F185334E5")
+    );
+    assert_eq!(info["model"].as_str(), Some("HS110(EU)"));
+    // The §5.1 geolocation leak: coordinates must survive with full
+    // precision, as floats, not truncated or re-rounded.
+    assert_eq!(info["latitude"].as_f64(), Some(42.337681));
+    assert_eq!(info["longitude"].as_f64(), Some(-71.087036));
+    assert_eq!(info["relay_state"].as_i64(), Some(1));
+    assert_eq!(info["err_code"].as_i64(), Some(0));
+    // Byte-exact re-emission: field order and float text preserved.
+    assert_eq!(body.to_string(), TABLE5_SYSINFO);
+}
+
+#[test]
+fn table5_command_fixtures_roundtrip() {
+    // Table 5, rows "get_sysinfo request" and "set_relay_state command".
+    for fixture in [
+        r#"{"system":{"get_sysinfo":{}}}"#,
+        r#"{"system":{"set_relay_state":{"state":1}}}"#,
+        r#"{"system":{"set_relay_state":{"err_code":0}}}"#,
+    ] {
+        let value = json::from_str(fixture).unwrap();
+        assert_eq!(value.to_string(), fixture);
+    }
+    // The same payloads constructed via the macro emit identical wire text.
+    assert_eq!(
+        iotlan_util::json!({"system": {"set_relay_state": {"state": 1}}}).to_string(),
+        r#"{"system":{"set_relay_state":{"state":1}}}"#
+    );
+}
+
+#[test]
+fn table5_tuya_discovery_fixture() {
+    // Table 5, row "TuyaLP discovery": gwId/productKey broadcast (§5.1).
+    let fixture = concat!(
+        r#"{"ip":"192.168.10.61","gwId":"34ea34fabc0e17a662","active":2,"#,
+        r#""ability":0,"mode":0,"encrypt":true,"productKey":"keymw8ayrpak3mdh","version":"3.3"}"#
+    );
+    let value = json::from_str(fixture).unwrap();
+    assert_eq!(value["gwId"].as_str(), Some("34ea34fabc0e17a662"));
+    assert_eq!(value["encrypt"].as_bool(), Some(true));
+    assert_eq!(value["active"].as_i64(), Some(2));
+    assert_eq!(value.to_string(), fixture);
+}

@@ -52,7 +52,7 @@ pub mod udp;
 pub use ethernet::{EtherType, EthernetAddress};
 
 /// Re-export: the JSON value type carried by TPLINK-SHP/TuyaLP payloads.
-pub use serde_json::Value as JsonValue;
+pub use iotlan_util::json::Value as JsonValue;
 
 use core::fmt;
 

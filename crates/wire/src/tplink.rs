@@ -9,7 +9,8 @@
 //! operate the devices (Table 1's geolocation row; Table 5's payload).
 
 use crate::{Error, Result};
-use serde_json::{json, Value};
+use iotlan_util::json;
+use iotlan_util::json::Value;
 
 /// The TPLINK-SHP port (UDP discovery and TCP control).
 pub const SHP_PORT: u16 = 9999;
@@ -43,7 +44,7 @@ pub fn decrypt(ciphertext: &[u8]) -> Vec<u8> {
 }
 
 /// A TPLINK-SHP message: a JSON document under the autokey cipher.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Message {
     pub body: Value,
 }
@@ -107,7 +108,7 @@ impl Message {
             return Err(Error::Truncated);
         }
         let plain = decrypt(data);
-        let body: Value = serde_json::from_slice(&plain).map_err(|_| Error::Malformed)?;
+        let body: Value = json::from_slice(&plain).map_err(|_| Error::Malformed)?;
         Ok(Message { body })
     }
 
@@ -131,7 +132,7 @@ impl Message {
     }
 
     /// Extract the sysinfo object from a response, if present.
-    pub fn sysinfo(&self) -> Option<&serde_json::Map<String, Value>> {
+    pub fn sysinfo(&self) -> Option<&json::Map> {
         self.body
             .get("system")?
             .get("get_sysinfo")?

@@ -8,7 +8,8 @@
 
 use crate::field;
 use crate::{Error, Result};
-use serde_json::{json, Value};
+use iotlan_util::json;
+use iotlan_util::json::Value;
 
 /// Plaintext discovery port.
 pub const TUYA_PORT_PLAIN: u16 = 6666;
@@ -36,7 +37,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// A TuyaLP frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     pub sequence: u32,
     pub command: u32,
@@ -91,7 +92,7 @@ impl Frame {
             return Err(Error::Malformed);
         }
         let payload: Value =
-            serde_json::from_slice(payload_bytes).map_err(|_| Error::Malformed)?;
+            json::from_slice(payload_bytes).map_err(|_| Error::Malformed)?;
         Ok(Frame {
             sequence,
             command,

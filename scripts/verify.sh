@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate. Must pass from a clean checkout with no network:
+# the workspace is hermetic (zero crates.io dependencies), so everything runs
+# with --offline.
+#
+#   ./scripts/verify.sh
+#
+# 1. release build of the whole workspace
+# 2. full test suite (unit + property + integration)
+# 3. bench smoke: perf_wire in --quick mode must emit machine-readable
+#    {"type":"bench",...} JSON lines via the in-tree harness
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> bench smoke: perf_wire --quick"
+bench_out=$(cargo bench -p iotlan-bench --bench perf_wire --offline -- --quick)
+printf '%s\n' "$bench_out"
+if ! printf '%s\n' "$bench_out" | grep -q '^{"type":"bench"'; then
+    echo "verify: FAIL — perf_wire emitted no bench JSON lines" >&2
+    exit 1
+fi
+
+echo "verify: OK"
