@@ -6,6 +6,7 @@
 
 use crate::flow::{Flow, FlowTable};
 use crate::{labels, ndpi, tshark, Label};
+use iotlan_util::pool;
 use std::collections::BTreeMap;
 
 /// The confusion matrix: (nDPI label, tshark label) → flow count.
@@ -19,6 +20,14 @@ impl Matrix {
     pub fn add(&mut self, ndpi_label: Label, tshark_label: Label) {
         *self.cells.entry((ndpi_label, tshark_label)).or_insert(0) += 1;
         self.total += 1;
+    }
+
+    /// Fold another matrix into this one (cell-wise sum).
+    pub fn merge(&mut self, other: Matrix) {
+        for (key, count) in other.cells {
+            *self.cells.entry(key).or_insert(0) += count;
+        }
+        self.total += other.total;
     }
 
     /// Row labels (nDPI), sorted.
@@ -83,70 +92,120 @@ pub struct CrossValidation {
     pub agreement: Agreement,
 }
 
-/// Run both classifiers over every flow.
-pub fn cross_validate(table: &FlowTable) -> CrossValidation {
-    let mut matrix = Matrix::default();
-    let mut tshark_labeled = 0u64;
-    let mut ndpi_labeled = 0u64;
-    let mut disagree = 0u64;
-    let mut neither = 0u64;
-    for flow in &table.flows {
+/// Running tallies for one slice of flows; merged in input order.
+#[derive(Default)]
+struct Tallies {
+    matrix: Matrix,
+    tshark_labeled: u64,
+    ndpi_labeled: u64,
+    disagree: u64,
+    neither: u64,
+}
+
+impl Tallies {
+    fn add(&mut self, flow: &Flow) {
         let n = ndpi::classify(flow);
         let t = tshark::classify(flow);
-        matrix.add(n, t);
+        self.matrix.add(n, t);
         let n_ok = ndpi::is_labeled(n);
         let t_ok = tshark::is_labeled(t);
         if n_ok {
-            ndpi_labeled += 1;
+            self.ndpi_labeled += 1;
         }
         if t_ok {
-            tshark_labeled += 1;
+            self.tshark_labeled += 1;
         }
         if n_ok && t_ok && n != t {
-            disagree += 1;
+            self.disagree += 1;
         }
         if !n_ok && !t_ok {
-            neither += 1;
+            self.neither += 1;
         }
     }
-    let total = table.flows.len().max(1) as f64;
-    CrossValidation {
-        agreement: Agreement {
-            total_flows: table.flows.len() as u64,
-            tshark_labeled: tshark_labeled as f64 / total,
-            ndpi_labeled: ndpi_labeled as f64 / total,
-            disagree: disagree as f64 / total,
-            neither: neither as f64 / total,
-            tshark_label_count: matrix.tshark_labels().len(),
-            ndpi_label_count: matrix.ndpi_labels().len(),
-        },
-        matrix,
+
+    fn merge(&mut self, other: Tallies) {
+        self.matrix.merge(other.matrix);
+        self.tshark_labeled += other.tshark_labeled;
+        self.ndpi_labeled += other.ndpi_labeled;
+        self.disagree += other.disagree;
+        self.neither += other.neither;
     }
+
+    fn into_crossval(self, flow_count: usize) -> CrossValidation {
+        let total = flow_count.max(1) as f64;
+        CrossValidation {
+            agreement: Agreement {
+                total_flows: flow_count as u64,
+                tshark_labeled: self.tshark_labeled as f64 / total,
+                ndpi_labeled: self.ndpi_labeled as f64 / total,
+                disagree: self.disagree as f64 / total,
+                neither: self.neither as f64 / total,
+                tshark_label_count: self.matrix.tshark_labels().len(),
+                ndpi_label_count: self.matrix.ndpi_labels().len(),
+            },
+            matrix: self.matrix,
+        }
+    }
+}
+
+/// Run both classifiers over every flow. Classification is per-flow pure,
+/// so the table fans out across the pool; tallies merge in flow order.
+pub fn cross_validate(table: &FlowTable) -> CrossValidation {
+    let tallies = pool::par_map_reduce(
+        &table.flows,
+        Tallies::default,
+        |acc, _, flow| acc.add(flow),
+        Tallies::merge,
+    );
+    tallies.into_crossval(table.flows.len())
+}
+
+/// Cross-validate a table in `k` contiguous folds, each fold classified
+/// independently across the pool (the Appendix C.2 per-capture-file view:
+/// one fold per pcap shard). Fold boundaries depend only on the flow count,
+/// and results come back in fold order.
+pub fn cross_validate_folds(table: &FlowTable, k: usize) -> Vec<CrossValidation> {
+    let k = k.max(1).min(table.flows.len().max(1));
+    let fold_size = table.flows.len().div_ceil(k);
+    let folds: Vec<&[Flow]> = table.flows.chunks(fold_size.max(1)).collect();
+    pool::par_map(&folds, |_, fold| {
+        let mut tallies = Tallies::default();
+        for flow in *fold {
+            tallies.add(flow);
+        }
+        tallies.into_crossval(fold.len())
+    })
 }
 
 /// Count how many of the disagreements are tshark's SSDP-to-generic errors
 /// — the "95%" observation.
 pub fn ssdp_share_of_disagreements(table: &FlowTable) -> f64 {
-    let mut disagreements = 0u64;
-    let mut ssdp_generic = 0u64;
-    for flow in &table.flows {
-        let n = ndpi::classify(flow);
-        let t = tshark::classify(flow);
-        if ndpi::is_labeled(n) && tshark::is_labeled(t) && n != t {
-            disagreements += 1;
-            if n == labels::SSDP {
-                ssdp_generic += 1;
+    let (disagreements, ssdp_generic) = pool::par_map_reduce(
+        &table.flows,
+        || (0u64, 0u64),
+        |(disagreements, ssdp_generic), _, flow| {
+            let n = ndpi::classify(flow);
+            let t = tshark::classify(flow);
+            if ndpi::is_labeled(n) && tshark::is_labeled(t) && n != t {
+                *disagreements += 1;
+                if n == labels::SSDP {
+                    *ssdp_generic += 1;
+                }
             }
-        }
-        // Also count nDPI-labeled / tshark-generic cases as disagreements
-        // in the paper's sense (tools gave different answers).
-        if ndpi::is_labeled(n) && !tshark::is_labeled(t) {
-            disagreements += 1;
-            if n == labels::SSDP {
-                ssdp_generic += 1;
+            // Also count nDPI-labeled / tshark-generic cases as disagreements
+            // in the paper's sense (tools gave different answers).
+            if ndpi::is_labeled(n) && !tshark::is_labeled(t) {
+                *disagreements += 1;
+                if n == labels::SSDP {
+                    *ssdp_generic += 1;
+                }
             }
-        }
-    }
+        },
+        |acc, part| {
+            acc.0 += part.0;
+            acc.1 += part.1;
+        },
+    );
     if disagreements == 0 {
         0.0
     } else {
@@ -231,6 +290,36 @@ mod tests {
         assert!(rendered.contains("mDNS"));
         assert!(rendered.contains("STUN"));
         assert!(cv.matrix.total == 4);
+    }
+
+    #[test]
+    fn folds_partition_the_table() {
+        let mut table = FlowTable::default();
+        let t = SimTime::ZERO;
+        let response =
+            iotlan_wire::ssdp::Message::response("upnp:rootdevice", "u", None, None).to_bytes();
+        for i in 0..11u16 {
+            table.add_frame(
+                t,
+                &stack::udp_unicast(ep(2), ep(1), 1900, 50200 + i * 7, &response),
+            );
+        }
+        let whole = cross_validate(&table);
+        let folds = cross_validate_folds(&table, 3);
+        assert_eq!(folds.len(), 3);
+        assert_eq!(
+            folds.iter().map(|f| f.agreement.total_flows).sum::<u64>(),
+            whole.agreement.total_flows
+        );
+        let mut merged = Matrix::default();
+        for fold in &folds {
+            merged.merge(fold.matrix.clone());
+        }
+        assert_eq!(merged.cells, whole.matrix.cells);
+        assert_eq!(merged.total, whole.matrix.total);
+        // Degenerate fold counts clamp instead of panicking.
+        assert_eq!(cross_validate_folds(&table, 0).len(), 1);
+        assert!(cross_validate_folds(&table, 500).len() <= table.flows.len());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! Roku.
 
 use crate::hashes;
+use iotlan_util::pool;
 use iotlan_util::rng::Rng;
 
 /// What identifier types a product's discovery payloads expose.
@@ -51,7 +52,7 @@ pub struct FlowWindow {
 }
 
 /// One device as IoT Inspector records it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Device {
     /// HMAC-SHA256(MAC, household salt).
     pub device_id: String,
@@ -69,14 +70,14 @@ pub struct Device {
 }
 
 /// One household (user).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Household {
     pub user_id: String,
     pub devices: Vec<Device>,
 }
 
 /// The generated dataset.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dataset {
     pub households: Vec<Household>,
 }
@@ -310,52 +311,64 @@ fn make_payloads(
 }
 
 /// Generate a dataset.
+///
+/// Households are independent: household `i` draws everything from its own
+/// `Rng::stream(seed, i)`, so generation fans out across the
+/// [`iotlan_util::pool`] with bit-identical output at any thread count.
 pub fn generate(config: &GeneratorConfig) -> Dataset {
-    let mut rng = Rng::seed_from_u64(config.seed);
     let products = product_universe();
     let total_weight: u32 = products.iter().map(|p| p.weight).sum();
-
-    let mut households = Vec::with_capacity(config.households);
-    for house_index in 0..config.households {
-        let salt: [u8; 16] = rng.gen_array();
-        let user_id = hashes::to_hex(&hashes::sha256(&salt))[..16].to_string();
-        // Household size: median 3 (1..=9, weighted toward small).
-        let size = *[1usize, 2, 2, 3, 3, 3, 3, 4, 4, 5, 6]
-            .get(rng.gen_range(0..11usize))
-            .unwrap();
-        let mut devices = Vec::with_capacity(size);
-        for _ in 0..size {
-            // Weighted product draw.
-            let mut pick = rng.gen_range(0..total_weight);
-            let product = products
-                .iter()
-                .find(|p| {
-                    if pick < p.weight {
-                        true
-                    } else {
-                        pick -= p.weight;
-                        false
-                    }
-                })
-                .unwrap();
-            devices.push(make_device(&mut rng, product, &salt));
-        }
-        // Deterministic rare-class injection: the 2 name-only households
-        // and the 2 all-three (Roku) households of Table 2.
-        if house_index == 100 || house_index == 2100 {
-            let roku = products.last().unwrap();
-            devices.push(make_device(&mut rng, roku, &salt));
-        }
-        if house_index == 700 || house_index == 2900 {
-            let name_only = products
-                .iter()
-                .find(|p| p.exposure == ExposureClass::NameOnly)
-                .unwrap();
-            devices.push(make_device(&mut rng, name_only, &salt));
-        }
-        households.push(Household { user_id, devices });
-    }
+    let households = pool::par_map_range(config.households, |house_index| {
+        let mut rng = Rng::stream(config.seed, house_index as u64);
+        generate_household(&mut rng, house_index, &products, total_weight)
+    });
     Dataset { households }
+}
+
+/// Build one household from its private generator.
+fn generate_household(
+    rng: &mut Rng,
+    house_index: usize,
+    products: &[Product],
+    total_weight: u32,
+) -> Household {
+    let salt: [u8; 16] = rng.gen_array();
+    let user_id = hashes::to_hex(&hashes::sha256(&salt))[..16].to_string();
+    // Household size: median 3 (1..=9, weighted toward small).
+    let size = *[1usize, 2, 2, 3, 3, 3, 3, 4, 4, 5, 6]
+        .get(rng.gen_range(0..11usize))
+        .unwrap();
+    let mut devices = Vec::with_capacity(size);
+    for _ in 0..size {
+        // Weighted product draw.
+        let mut pick = rng.gen_range(0..total_weight);
+        let product = products
+            .iter()
+            .find(|p| {
+                if pick < p.weight {
+                    true
+                } else {
+                    pick -= p.weight;
+                    false
+                }
+            })
+            .unwrap();
+        devices.push(make_device(rng, product, &salt));
+    }
+    // Deterministic rare-class injection: the 2 name-only households
+    // and the 2 all-three (Roku) households of Table 2.
+    if house_index == 100 || house_index == 2100 {
+        let roku = products.last().unwrap();
+        devices.push(make_device(rng, roku, &salt));
+    }
+    if house_index == 700 || house_index == 2900 {
+        let name_only = products
+            .iter()
+            .find(|p| p.exposure == ExposureClass::NameOnly)
+            .unwrap();
+        devices.push(make_device(rng, name_only, &salt));
+    }
+    Household { user_id, devices }
 }
 
 fn make_device(rng: &mut Rng, product: &Product, salt: &[u8]) -> Device {

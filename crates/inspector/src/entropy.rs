@@ -10,6 +10,7 @@
 
 use crate::dataset::Dataset;
 use crate::ident;
+use iotlan_util::pool;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which identifier types a device exposed (Table 2's "#" classes).
@@ -119,39 +120,54 @@ struct DeviceExtraction<'a> {
 }
 
 /// Run the §6.3 analysis.
+///
+/// Identifier extraction — the string-scanning hot loop — fans out across
+/// the pool per household; the flattened extraction list is rebuilt in
+/// household order, so every downstream aggregate is thread-count
+/// invariant.
 pub fn analyze(dataset: &Dataset) -> EntropyTable {
-    let mut extractions: Vec<DeviceExtraction> = Vec::new();
-    let mut analyzed_households: BTreeSet<usize> = BTreeSet::new();
-    for (house_index, household) in dataset.households.iter().enumerate() {
-        for device in &household.devices {
-            if device.mdns_responses.is_empty() && device.ssdp_responses.is_empty() {
-                continue; // no discovery payloads collected for this device
-            }
-            analyzed_households.insert(house_index);
-            let text = format!(
-                "{}\n{}",
-                device.mdns_responses.join("\n"),
-                device.ssdp_responses.join("\n")
-            );
-            let names = ident::extract_names(&text);
-            let uuids = ident::extract_uuids(&text);
-            let macs = ident::extract_macs_with_oui(&text, &device.oui);
-            let class = IdentifierClass {
-                name: !names.is_empty(),
-                uuid: !uuids.is_empty(),
-                mac: !macs.is_empty(),
-            };
-            extractions.push(DeviceExtraction {
-                household: house_index,
-                vendor: &device.truth_vendor,
-                product: (device.truth_vendor.clone(), device.truth_category.clone()),
-                class,
-                names,
-                uuids,
-                macs,
-            });
-        }
-    }
+    let per_household: Vec<Vec<DeviceExtraction>> =
+        pool::par_map(&dataset.households, |house_index, household| {
+            household
+                .devices
+                .iter()
+                .filter(|device| {
+                    // Devices without discovery payloads were never collected.
+                    !device.mdns_responses.is_empty() || !device.ssdp_responses.is_empty()
+                })
+                .map(|device| {
+                    let text = format!(
+                        "{}\n{}",
+                        device.mdns_responses.join("\n"),
+                        device.ssdp_responses.join("\n")
+                    );
+                    let names = ident::extract_names(&text);
+                    let uuids = ident::extract_uuids(&text);
+                    let macs = ident::extract_macs_with_oui(&text, &device.oui);
+                    let class = IdentifierClass {
+                        name: !names.is_empty(),
+                        uuid: !uuids.is_empty(),
+                        mac: !macs.is_empty(),
+                    };
+                    DeviceExtraction {
+                        household: house_index,
+                        vendor: &device.truth_vendor,
+                        product: (device.truth_vendor.clone(), device.truth_category.clone()),
+                        class,
+                        names,
+                        uuids,
+                        macs,
+                    }
+                })
+                .collect()
+        });
+    let analyzed_households: BTreeSet<usize> = per_household
+        .iter()
+        .enumerate()
+        .filter(|(_, extractions)| !extractions.is_empty())
+        .map(|(house_index, _)| house_index)
+        .collect();
+    let extractions: Vec<DeviceExtraction> = per_household.into_iter().flatten().collect();
 
     // Group by class.
     let mut by_class: BTreeMap<IdentifierClass, Vec<&DeviceExtraction>> = BTreeMap::new();

@@ -8,6 +8,7 @@
 //! generator's ground truth.
 
 use crate::dataset::{Dataset, Device};
+use iotlan_util::pool;
 
 /// An inference result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,33 +103,50 @@ pub fn registry_from_dataset(dataset: &Dataset) -> Vec<(String, String)> {
 /// paper's ≥2-field filter).
 pub fn score(dataset: &Dataset) -> (f64, f64, f64) {
     let registry = registry_from_dataset(dataset);
-    let mut eligible = 0usize;
-    let mut vendor_hits = 0usize;
-    let mut category_hits = 0usize;
-    let mut total = 0usize;
-    for household in &dataset.households {
-        for device in &household.devices {
-            total += 1;
-            let fields = usize::from(device.user_label.is_some())
-                + usize::from(device.dhcp_hostname.is_some())
-                + usize::from(!device.mdns_responses.is_empty() || !device.ssdp_responses.is_empty());
-            if fields < 2 {
-                continue;
-            }
-            eligible += 1;
-            let inference = infer_device(device, &registry);
-            if inference.vendor.as_deref() == Some(device.truth_vendor.as_str()) {
-                vendor_hits += 1;
-            }
-            if inference.category.as_deref() == Some(device.truth_category.as_str()) {
-                category_hits += 1;
-            }
-        }
+    // Per-household tallies are independent — fan the rule engine out
+    // across the pool and merge counts in household order.
+    #[derive(Default)]
+    struct Tally {
+        eligible: usize,
+        vendor_hits: usize,
+        category_hits: usize,
+        total: usize,
     }
+    let tally = pool::par_map_reduce(
+        &dataset.households,
+        Tally::default,
+        |acc, _, household| {
+            for device in &household.devices {
+                acc.total += 1;
+                let fields = usize::from(device.user_label.is_some())
+                    + usize::from(device.dhcp_hostname.is_some())
+                    + usize::from(
+                        !device.mdns_responses.is_empty() || !device.ssdp_responses.is_empty(),
+                    );
+                if fields < 2 {
+                    continue;
+                }
+                acc.eligible += 1;
+                let inference = infer_device(device, &registry);
+                if inference.vendor.as_deref() == Some(device.truth_vendor.as_str()) {
+                    acc.vendor_hits += 1;
+                }
+                if inference.category.as_deref() == Some(device.truth_category.as_str()) {
+                    acc.category_hits += 1;
+                }
+            }
+        },
+        |acc, part| {
+            acc.eligible += part.eligible;
+            acc.vendor_hits += part.vendor_hits;
+            acc.category_hits += part.category_hits;
+            acc.total += part.total;
+        },
+    );
     (
-        vendor_hits as f64 / eligible.max(1) as f64,
-        category_hits as f64 / eligible.max(1) as f64,
-        eligible as f64 / total.max(1) as f64,
+        tally.vendor_hits as f64 / tally.eligible.max(1) as f64,
+        tally.category_hits as f64 / tally.eligible.max(1) as f64,
+        tally.eligible as f64 / tally.total.max(1) as f64,
     )
 }
 

@@ -20,10 +20,16 @@
 //!   `criterion`), driven by the [`bench_main!`] macro.
 //! * [`check`] — seeded property checks with failure shrinking by size
 //!   bisection (replaces `proptest`), driven by the [`props!`] macro.
+//!
+//! [`pool`] adds the deterministic data-parallel layer (replaces `rayon`):
+//! scoped threads, static chunking, per-chunk RNG streams and ordered
+//! reduction, so `IOTLAN_THREADS=1` and `=N` produce bit-identical
+//! artifacts.
 
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod pool;
 pub mod rng;
 
 pub use json::Value as JsonValue;

@@ -1,0 +1,326 @@
+//! A std-only scoped thread pool with a *deterministic* data-parallel
+//! surface: [`par_map`], [`par_map_range`], [`par_map_reduce`] and the
+//! RNG-carrying [`par_map_rng`].
+//!
+//! The whole workspace promises that every artifact is a pure function of
+//! the seed (`tests/determinism.rs`), so parallelism must never leak
+//! scheduling order into results. Three rules make the output bit-identical
+//! regardless of thread count:
+//!
+//! 1. **Static chunking** — work items are grouped into fixed-size chunks
+//!    whose boundaries depend only on the input length (never on
+//!    `IOTLAN_THREADS` or core count). Threads *claim* chunks dynamically,
+//!    but a chunk's contents and identity are scheduling-independent.
+//! 2. **Per-chunk RNG streams** — when the mapped closure needs
+//!    randomness, every chunk receives an independent generator derived by
+//!    [`Rng::split`] from the caller's generator *in chunk order, before
+//!    any thread runs*. Which thread executes the chunk cannot matter.
+//! 3. **Ordered reduction** — mapped results land in pre-assigned slots
+//!    and are reduced strictly in input order, so even non-commutative
+//!    reductions (string concatenation, capture merging) are stable.
+//!
+//! Thread count resolves, in priority order: the [`with_threads`] override
+//! (scoped, test/bench-friendly), the `IOTLAN_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`]. `IOTLAN_THREADS=1`
+//! runs everything inline on the calling thread — the serial reference the
+//! equivalence suite compares against.
+
+use crate::rng::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Scoped thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes [`with_threads`] scopes so concurrently running tests cannot
+/// observe each other's overrides.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Upper bound on chunk count, so tiny per-item workloads over huge inputs
+/// don't drown in per-chunk bookkeeping.
+const MAX_CHUNKS: usize = 1024;
+
+/// The worker count [`par_map`] and friends will use right now.
+pub fn thread_count() -> usize {
+    let overridden = THREAD_OVERRIDE.load(Ordering::Acquire);
+    if overridden > 0 {
+        return overridden;
+    }
+    if let Ok(raw) = std::env::var("IOTLAN_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` with the pool's thread count pinned to `threads`.
+///
+/// Scopes are serialized through a global lock so parallel test binaries
+/// can each compare `with_threads(1, …)` against `with_threads(8, …)`
+/// without racing on the override. The override is restored even when `f`
+/// panics.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads > 0, "thread count must be positive");
+    let _scope: MutexGuard<'_, ()> = match OVERRIDE_LOCK.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::Release);
+        }
+    }
+    let previous = THREAD_OVERRIDE.swap(threads, Ordering::AcqRel);
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Chunk size for an input of `len` items: a pure function of `len` —
+/// never of the thread count, or chunk boundaries would move with it.
+///
+/// Small inputs get single-item chunks: a "small" work list here is a few
+/// multi-second lab runs or cross-validation folds, where serializing even
+/// two items wastes a core. Large inputs (households, flows) grow chunks
+/// just enough to bound per-chunk claim overhead at [`MAX_CHUNKS`].
+fn chunk_size(len: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS).max(1)
+}
+
+/// `f(0), f(1), …, f(n-1)` evaluated across the pool, results in index
+/// order. Bit-identical to the serial loop for every thread count.
+///
+/// A panic in any invocation of `f` propagates to the caller (the scope
+/// join re-raises it) — workers never swallow failures.
+pub fn par_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = thread_count();
+    let chunk = chunk_size(n);
+    if threads <= 1 || n <= chunk {
+        return (0..n).map(f).collect();
+    }
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    {
+        // Hand each chunk of the output vector to whichever worker claims
+        // its index; the Mutex is uncontended (one claimant per chunk) and
+        // exists only to move the `&mut` slice across threads safely.
+        let slots: Vec<Mutex<&mut [Option<R>]>> =
+            results.chunks_mut(chunk).map(Mutex::new).collect();
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(slots.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = slots.get(index) else { break };
+                    let mut guard = match slot.lock() {
+                        Ok(guard) => guard,
+                        // A sibling worker panicked while holding nothing of
+                        // ours; poisoning is irrelevant to the slice.
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    let base = index * chunk;
+                    for (offset, out) in guard.iter_mut().enumerate() {
+                        *out = Some(f(base + offset));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("pool: chunk left a result slot empty"))
+        .collect()
+}
+
+/// Map `f` over a slice across the pool; output order == input order.
+/// Results may borrow from the input slice.
+pub fn par_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'a T) -> R + Sync,
+{
+    par_map_range(items.len(), |index| f(index, &items[index]))
+}
+
+/// Map with randomness: every *chunk* owns an independent RNG stream split
+/// off `rng` in chunk order before the pool starts, so results cannot
+/// depend on which thread ran which chunk. `f` receives the chunk's
+/// generator and must draw from it (and nothing else) for randomness.
+///
+/// Items within one chunk share the chunk's stream sequentially — exactly
+/// like a serial loop over that chunk.
+pub fn par_map_rng<T, R, F>(rng: &mut Rng, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut Rng, usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk_size(n);
+    let chunk_count = n.div_ceil(chunk);
+    // Split serially, in chunk order: the derivation is part of the
+    // deterministic contract, never done on workers.
+    let streams: Vec<Mutex<Rng>> = (0..chunk_count).map(|_| Mutex::new(rng.split())).collect();
+    par_map_range(n, |index| {
+        let mut stream = match streams[index / chunk].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut stream, index, &items[index])
+    })
+}
+
+/// Map-reduce with ordered reduction: each chunk folds its mapped items
+/// into a fresh accumulator from `init`, then the per-chunk accumulators
+/// merge strictly in chunk (== input) order. Safe for non-commutative
+/// merges.
+pub fn par_map_reduce<T, A, FMap, FMerge>(items: &[T], init: impl Fn() -> A + Sync, map: FMap, merge: FMerge) -> A
+where
+    T: Sync,
+    A: Send,
+    FMap: Fn(&mut A, usize, &T) + Sync,
+    FMerge: Fn(&mut A, A),
+{
+    let n = items.len();
+    let chunk = chunk_size(n);
+    let chunk_count = n.div_ceil(chunk);
+    let mut partials = par_map_range(chunk_count, |chunk_index| {
+        let start = chunk_index * chunk;
+        let end = (start + chunk).min(n);
+        let mut acc = init();
+        for index in start..end {
+            map(&mut acc, index, &items[index]);
+        }
+        acc
+    });
+    let mut total = init();
+    for partial in partials.drain(..) {
+        merge(&mut total, partial);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_range_matches_serial() {
+        let serial: Vec<u64> = (0..5000).map(|i| (i as u64).wrapping_mul(0x9e37)).collect();
+        for threads in [1, 2, 3, 8] {
+            let parallel = with_threads(threads, || {
+                par_map_range(5000, |i| (i as u64).wrapping_mul(0x9e37))
+            });
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<String> = (0..500).map(|i| format!("item-{i}")).collect();
+        let out = with_threads(4, || par_map(&items, |i, s| format!("{i}:{s}")));
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("{i}:item-{i}"));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(par_map_range(0, |i| i).is_empty());
+        assert_eq!(par_map_range(1, |i| i + 7), vec![7]);
+        let none: Vec<u8> = Vec::new();
+        assert!(par_map(&none, |_, v: &u8| *v).is_empty());
+        let mut rng = Rng::seed_from_u64(1);
+        assert!(par_map_rng(&mut rng, &none, |_, _, v| *v).is_empty());
+    }
+
+    #[test]
+    fn par_map_rng_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut rng = Rng::seed_from_u64(99);
+                let items: Vec<usize> = (0..1000).collect();
+                par_map_rng(&mut rng, &items, |rng, _, _| rng.next_u64())
+            })
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        // And the parent generator advances identically.
+        let parent_after = |threads: usize| {
+            with_threads(threads, || {
+                let mut rng = Rng::seed_from_u64(99);
+                let items: Vec<usize> = (0..1000).collect();
+                let _ = par_map_rng(&mut rng, &items, |rng, _, _| rng.next_u64());
+                rng.next_u64()
+            })
+        };
+        assert_eq!(parent_after(1), parent_after(8));
+    }
+
+    #[test]
+    fn par_map_reduce_ordered_merge() {
+        // String concatenation is non-commutative: any out-of-order merge
+        // would scramble it.
+        let items: Vec<usize> = (0..300).collect();
+        let serial: String = items.iter().map(|i| format!("[{i}]")).collect();
+        for threads in [1, 2, 8] {
+            let joined = with_threads(threads, || {
+                par_map_reduce(
+                    &items,
+                    String::new,
+                    |acc, _, item| acc.push_str(&format!("[{item}]")),
+                    |acc, part| acc.push_str(&part),
+                )
+            });
+            assert_eq!(joined, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_range(200, |i| {
+                    if i == 137 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            })
+        });
+        assert!(result.is_err(), "panic inside a worker must reach the caller");
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let _ = std::panic::catch_unwind(|| with_threads(3, || panic!("x")));
+        assert_eq!(THREAD_OVERRIDE.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn chunking_is_a_function_of_length_only() {
+        for len in [0usize, 1, 15, 16, 17, 1000, 100_000] {
+            let a = chunk_size(len);
+            let b = with_threads(7, || chunk_size(len));
+            assert_eq!(a, b);
+            assert!(a >= 1);
+        }
+        // Large inputs cap the chunk count.
+        assert!(2_000_000usize.div_ceil(chunk_size(2_000_000)) <= MAX_CHUNKS);
+    }
+}

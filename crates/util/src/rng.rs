@@ -315,6 +315,31 @@ mod tests {
     }
 
     #[test]
+    fn split_and_stream_rngs_pairwise_disjoint_over_10k_draws() {
+        // The pool derives one RNG per chunk via split()/stream(); if any
+        // two streams overlapped within a realistic draw budget, "parallel
+        // == serial" would hold while both silently reused randomness.
+        // 16 streams × 10k draws = 160k values from a 2^64 space: a single
+        // collision has probability ~7e-10, so any overlap means the
+        // derivation scheme is broken, not bad luck.
+        const DRAWS: usize = 10_000;
+        let mut parent = Rng::seed_from_u64(0x5eed);
+        let mut streams: Vec<Rng> = (0..8).map(|_| parent.split()).collect();
+        streams.extend((0..8).map(|i| Rng::stream(0x5eed, i)));
+        let mut seen: std::collections::HashSet<u64> =
+            std::collections::HashSet::with_capacity(streams.len() * DRAWS);
+        for (index, stream) in streams.iter_mut().enumerate() {
+            for draw in 0..DRAWS {
+                assert!(
+                    seen.insert(stream.next_u64()),
+                    "stream {index} repeated a value at draw {draw}: \
+                     overlapping RNG streams"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn shuffle_permutes() {
         let mut rng = Rng::seed_from_u64(11);
         let mut v: Vec<u32> = (0..50).collect();

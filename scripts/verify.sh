@@ -6,9 +6,13 @@
 #   ./scripts/verify.sh
 #
 # 1. release build of the whole workspace
-# 2. full test suite (unit + property + integration)
+# 2. full test suite (unit + property + integration), serial
+#    (IOTLAN_THREADS=1) and parallel (IOTLAN_THREADS=4) — the pool promises
+#    bit-identical artifacts at any worker count, so both must pass
 # 3. bench smoke: perf_wire in --quick mode must emit machine-readable
 #    {"type":"bench",...} JSON lines via the in-tree harness
+# 4. sweep smoke: perf_sweep in --quick mode must emit its
+#    {"type":"speedup",...} serial-vs-parallel comparison lines
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,17 +20,25 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo test -q --offline (IOTLAN_THREADS=1)"
+IOTLAN_THREADS=1 cargo test -q --offline
 
-echo "==> cargo test -q --offline --workspace"
-cargo test -q --offline --workspace
+echo "==> cargo test -q --offline --workspace (IOTLAN_THREADS=4)"
+IOTLAN_THREADS=4 cargo test -q --offline --workspace
 
 echo "==> bench smoke: perf_wire --quick"
 bench_out=$(cargo bench -p iotlan-bench --bench perf_wire --offline -- --quick)
 printf '%s\n' "$bench_out"
 if ! printf '%s\n' "$bench_out" | grep -q '^{"type":"bench"'; then
     echo "verify: FAIL — perf_wire emitted no bench JSON lines" >&2
+    exit 1
+fi
+
+echo "==> sweep smoke: perf_sweep --quick"
+sweep_out=$(cargo bench -p iotlan-bench --bench perf_sweep --offline -- --quick)
+printf '%s\n' "$sweep_out"
+if ! printf '%s\n' "$sweep_out" | grep -q '^{"type":"speedup"'; then
+    echo "verify: FAIL — perf_sweep emitted no speedup JSON lines" >&2
     exit 1
 fi
 

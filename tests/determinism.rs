@@ -34,11 +34,22 @@ fn run(seed: u64) -> (Vec<u8>, String) {
 
 #[test]
 fn same_seed_same_pcap_and_report() {
-    let (pcap_a, report_a) = run(1312);
-    let (pcap_b, report_b) = run(1312);
-    assert_eq!(pcap_a, pcap_b, "pcap images diverged for identical seeds");
-    assert_eq!(report_a, report_b, "reports diverged for identical seeds");
-    assert!(!pcap_a.is_empty() && !report_a.is_empty());
+    // The same-seed-twice check must hold at every worker count: the
+    // parallel stages (dataset generation, crossval, entropy) promise
+    // bit-identical artifacts whether one thread runs them or eight.
+    for threads in [1usize, 2, 8] {
+        let (pcap_a, report_a) = iotlan_util::pool::with_threads(threads, || run(1312));
+        let (pcap_b, report_b) = iotlan_util::pool::with_threads(threads, || run(1312));
+        assert_eq!(
+            pcap_a, pcap_b,
+            "pcap images diverged for identical seeds (threads={threads})"
+        );
+        assert_eq!(
+            report_a, report_b,
+            "reports diverged for identical seeds (threads={threads})"
+        );
+        assert!(!pcap_a.is_empty() && !report_a.is_empty());
+    }
 }
 
 #[test]

@@ -1,0 +1,126 @@
+//! Serial/parallel equivalence: every parallelized pipeline stage must be
+//! a pure function of its inputs, never of the worker count.
+//!
+//! Each test computes the same artifact under `IOTLAN_THREADS` pinned to
+//! 1 (the serial reference), 2 and 8, and asserts *byte* identity — full
+//! datasets, rendered reports, merged pcap images. Any scheduling leak
+//! (unordered reduction, chunking that moves with thread count, a worker
+//! drawing from a shared RNG) fails these before it can corrupt a
+//! paper-vs-measured comparison.
+
+use iotlan::classify::crossval;
+use iotlan::inspector::{dataset, entropy, infer};
+use iotlan::netsim::SimDuration;
+use iotlan::{experiments, merge_sweep_captures, Lab, LabConfig};
+use iotlan_util::pool;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Run `build` once per thread count and assert all results equal the
+/// serial (1-thread) reference.
+fn assert_thread_count_invariant<R: PartialEq + std::fmt::Debug>(
+    what: &str,
+    build: impl Fn() -> R,
+) {
+    let reference = pool::with_threads(THREAD_COUNTS[0], &build);
+    for threads in &THREAD_COUNTS[1..] {
+        let result = pool::with_threads(*threads, &build);
+        assert!(
+            result == reference,
+            "{what}: IOTLAN_THREADS={threads} diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn dataset_generation_is_thread_count_invariant() {
+    assert_thread_count_invariant("inspector::dataset::generate", || {
+        dataset::generate(&dataset::GeneratorConfig {
+            seed: 0xd5,
+            households: 600,
+        })
+    });
+}
+
+#[test]
+fn entropy_and_inference_reports_are_thread_count_invariant() {
+    let data = dataset::generate(&dataset::GeneratorConfig {
+        seed: 0xe7,
+        households: 500,
+    });
+    assert_thread_count_invariant("inspector::entropy::analyze", || {
+        entropy::analyze(&data).render()
+    });
+    assert_thread_count_invariant("inspector::infer::score", || {
+        let (vendor, category, coverage) = infer::score(&data);
+        format!("{vendor:.12}|{category:.12}|{coverage:.12}")
+    });
+}
+
+#[test]
+fn crossval_is_thread_count_invariant() {
+    let mut lab = Lab::new(LabConfig {
+        seed: 77,
+        idle_duration: SimDuration::from_mins(3),
+        interactions: 0,
+        with_honeypot: false,
+    });
+    lab.run_idle();
+    let table = lab.flow_table();
+    assert_thread_count_invariant("classify::cross_validate", || {
+        let cv = crossval::cross_validate(&table);
+        format!(
+            "{}\n{:?}\n{}",
+            cv.matrix.render(),
+            cv.agreement,
+            crossval::ssdp_share_of_disagreements(&table)
+        )
+    });
+    assert_thread_count_invariant("classify::cross_validate_folds", || {
+        crossval::cross_validate_folds(&table, 4)
+            .iter()
+            .map(|fold| format!("{}|{:?}\n", fold.matrix.render(), fold.agreement))
+            .collect::<String>()
+    });
+}
+
+#[test]
+fn sweep_pcaps_are_thread_count_invariant() {
+    let base = LabConfig {
+        seed: 0,
+        idle_duration: SimDuration::from_mins(1),
+        interactions: 5,
+        with_honeypot: false,
+    };
+    let seeds = [11u64, 12, 13, 14];
+    assert_thread_count_invariant("Lab::run_sweep merged pcap", || {
+        let runs = Lab::run_sweep(&base, &seeds);
+        let per_run: Vec<(u64, usize, Vec<u8>)> = runs
+            .iter()
+            .map(|run| (run.seed, run.flow_count, run.capture.to_pcap()))
+            .collect();
+        let merged = merge_sweep_captures(&runs).to_pcap();
+        (per_run, merged)
+    });
+}
+
+#[test]
+fn full_report_pipeline_is_thread_count_invariant() {
+    // The determinism suite's report stack, compared across worker counts
+    // rather than across runs: dataset-backed Table 2 plus the
+    // capture-backed figure set.
+    assert_thread_count_invariant("experiments report stack", || {
+        let mut lab = Lab::new(LabConfig {
+            seed: 424,
+            idle_duration: SimDuration::from_mins(2),
+            interactions: 10,
+            with_honeypot: true,
+        });
+        lab.run_idle();
+        lab.run_interactions(SimDuration::from_mins(1));
+        let mut report = String::new();
+        report.push_str(&experiments::fig3_crossval(&lab).render());
+        report.push_str(&experiments::table2_entropy(424).render());
+        (lab.network.capture.to_pcap(), report)
+    });
+}
