@@ -78,7 +78,9 @@ impl PeriodicityReport {
     }
 }
 
-const DISCOVERY_PROTOCOLS: &[Label] = &[
+/// Protocols the paper treats as discovery traffic (App. D.1). Public so
+/// the streaming periodicity accumulator flags groups identically.
+pub const DISCOVERY_PROTOCOLS: &[Label] = &[
     "mDNS", "SSDP", "ARP", "DHCP", "ICMPv6", "TuyaLP", "TPLINK_SHP", "LIFX", "COAP", "IGMP",
 ];
 
@@ -255,17 +257,27 @@ pub fn analyze_periodicity(table: &FlowTable) -> PeriodicityReport {
 }
 
 fn destination_bucket(flow: &Flow) -> String {
-    if flow.dst_mac.is_broadcast() {
+    destination_bucket_of(flow.dst_mac, flow.key.dst_ip)
+}
+
+/// The (destination) half of the grouping key, from the flow's first-frame
+/// destination MAC and IP. Public so the streaming engine buckets
+/// identically to the batch pass.
+pub fn destination_bucket_of(
+    dst_mac: EthernetAddress,
+    dst_ip: Option<std::net::Ipv4Addr>,
+) -> String {
+    if dst_mac.is_broadcast() {
         "broadcast".into()
-    } else if flow.dst_mac.is_multicast() {
-        match flow.key.dst_ip {
+    } else if dst_mac.is_multicast() {
+        match dst_ip {
             Some(ip) => format!("multicast:{ip}"),
             None => "multicast".into(),
         }
     } else {
-        match flow.key.dst_ip {
+        match dst_ip {
             Some(ip) => ip.to_string(),
-            None => flow.dst_mac.to_string(),
+            None => dst_mac.to_string(),
         }
     }
 }

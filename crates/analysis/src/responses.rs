@@ -18,8 +18,9 @@ use std::collections::{BTreeMap, BTreeSet};
 /// The correlation window (seconds).
 pub const RESPONSE_WINDOW_SECS: f64 = 3.0;
 
-/// Protocols excluded from Table 4 (used by nearly all devices).
-const EXCLUDED: &[&str] = &["ARP", "DHCP", "ICMP", "ICMPv6", "IPv4"];
+/// Protocols excluded from Table 4 (used by nearly all devices). Public so
+/// the streaming accumulator applies the identical exclusion list.
+pub const EXCLUDED_PROTOCOLS: &[&str] = &["ARP", "DHCP", "ICMP", "ICMPv6", "IPv4"];
 
 /// One Table 4 row.
 #[derive(Debug, Clone)]
@@ -31,12 +32,86 @@ pub struct CategoryResponseRow {
     pub mean_devices_responded: f64,
 }
 
-/// Per-device intermediate record.
-#[derive(Debug, Clone, Default)]
-struct DeviceRecord {
-    discovery_protocols: BTreeSet<String>,
-    protocols_with_response: BTreeSet<String>,
-    responders: BTreeSet<iotlan_wire::ethernet::EthernetAddress>,
+/// Per-device intermediate record. Public (with [`rows_from_records`]) so
+/// the batch pass and the streaming accumulator share one row-building
+/// path and cannot diverge on grouping or means.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceRecord {
+    pub discovery_protocols: BTreeSet<String>,
+    pub protocols_with_response: BTreeSet<String>,
+    pub responders: BTreeSet<iotlan_wire::ethernet::EthernetAddress>,
+}
+
+impl DeviceRecord {
+    /// Set-union merge; idempotent, so re-observing the same evidence
+    /// (e.g. a flow split across stream windows) cannot change a record.
+    pub fn merge(&mut self, other: &DeviceRecord) {
+        self.discovery_protocols
+            .extend(other.discovery_protocols.iter().cloned());
+        self.protocols_with_response
+            .extend(other.protocols_with_response.iter().cloned());
+        self.responders.extend(other.responders.iter().copied());
+    }
+}
+
+/// Build the Table 4 rows from per-device records: group Echo / Google&Nest
+/// / Apple / Tuya by vendor and the rest by category, then average per
+/// group. Devices with no discovery activity contribute no row.
+pub fn rows_from_records(
+    records: &BTreeMap<iotlan_wire::ethernet::EthernetAddress, DeviceRecord>,
+    catalog: &Catalog,
+) -> Vec<CategoryResponseRow> {
+    let group_of = |device: &iotlan_devices::DeviceConfig| -> String {
+        match device.vendor.as_str() {
+            "Amazon" if device.category == Category::VoiceAssistant => "Amazon Echo".into(),
+            "Google" => "Google&Nest".into(),
+            "Apple" => "Apple".into(),
+            "Tuya" => "Tuya".into(),
+            _ => match device.category {
+                Category::MediaTv => "TVs".into(),
+                Category::Surveillance => "Cameras".into(),
+                Category::HomeAutomation => "Home Auto".into(),
+                Category::HomeAppliance => "Appliances".into(),
+                _ => "Other".into(),
+            },
+        }
+    };
+
+    let mut groups: BTreeMap<String, Vec<&DeviceRecord>> = BTreeMap::new();
+    let empty = DeviceRecord::default();
+    for device in &catalog.devices {
+        let record = records.get(&device.mac).unwrap_or(&empty);
+        if record.discovery_protocols.is_empty() {
+            continue; // devices with no discovery activity don't enter rows
+        }
+        groups.entry(group_of(device)).or_default().push(record);
+    }
+
+    groups
+        .into_iter()
+        .map(|(category, recs)| {
+            let n = recs.len() as f64;
+            CategoryResponseRow {
+                category,
+                devices: recs.len(),
+                mean_discovery_protocols: recs
+                    .iter()
+                    .map(|r| r.discovery_protocols.len() as f64)
+                    .sum::<f64>()
+                    / n,
+                mean_protocols_with_response: recs
+                    .iter()
+                    .map(|r| r.protocols_with_response.len() as f64)
+                    .sum::<f64>()
+                    / n,
+                mean_devices_responded: recs
+                    .iter()
+                    .map(|r| r.responders.len() as f64)
+                    .sum::<f64>()
+                    / n,
+            }
+        })
+        .collect()
 }
 
 /// Run the correlation. `vendor_group` optionally overrides Table 4's
@@ -71,7 +146,7 @@ pub fn discovery_responses(table: &FlowTable, catalog: &Catalog) -> Vec<Category
         };
         let _ = device;
         let protocol = classify_with_rules(flow, &rules);
-        if EXCLUDED.contains(&protocol) {
+        if EXCLUDED_PROTOCOLS.contains(&protocol) {
             continue;
         }
         discoveries.push(DiscoveryEvent {
@@ -125,59 +200,7 @@ pub fn discovery_responses(table: &FlowTable, catalog: &Catalog) -> Vec<Category
         }
     }
 
-    // Group rows: Echo / Google&Nest / Apple / Tuya by vendor; others by
-    // category, like Table 4.
-    let group_of = |device: &iotlan_devices::DeviceConfig| -> String {
-        match device.vendor.as_str() {
-            "Amazon" if device.category == Category::VoiceAssistant => "Amazon Echo".into(),
-            "Google" => "Google&Nest".into(),
-            "Apple" => "Apple".into(),
-            "Tuya" => "Tuya".into(),
-            _ => match device.category {
-                Category::MediaTv => "TVs".into(),
-                Category::Surveillance => "Cameras".into(),
-                Category::HomeAutomation => "Home Auto".into(),
-                Category::HomeAppliance => "Appliances".into(),
-                _ => "Other".into(),
-            },
-        }
-    };
-
-    let mut groups: BTreeMap<String, Vec<&DeviceRecord>> = BTreeMap::new();
-    let empty = DeviceRecord::default();
-    for device in &catalog.devices {
-        let record = records.get(&device.mac).unwrap_or(&empty);
-        if record.discovery_protocols.is_empty() {
-            continue; // devices with no discovery activity don't enter rows
-        }
-        groups.entry(group_of(device)).or_default().push(record);
-    }
-
-    groups
-        .into_iter()
-        .map(|(category, recs)| {
-            let n = recs.len() as f64;
-            CategoryResponseRow {
-                category,
-                devices: recs.len(),
-                mean_discovery_protocols: recs
-                    .iter()
-                    .map(|r| r.discovery_protocols.len() as f64)
-                    .sum::<f64>()
-                    / n,
-                mean_protocols_with_response: recs
-                    .iter()
-                    .map(|r| r.protocols_with_response.len() as f64)
-                    .sum::<f64>()
-                    / n,
-                mean_devices_responded: recs
-                    .iter()
-                    .map(|r| r.responders.len() as f64)
-                    .sum::<f64>()
-                    / n,
-            }
-        })
-        .collect()
+    rows_from_records(&records, catalog)
 }
 
 /// Render Table 4.

@@ -1,0 +1,129 @@
+//! Throughput and memory bounds of the single-pass streaming engine.
+//!
+//! Besides the usual per-benchmark `{"type":"bench",…}` lines, this target
+//! emits `{"type":"throughput",…}` JSON lines reporting the engine's
+//! packet rate and its peak resident state against `streamed_bytes` — the
+//! size an in-memory `Capture` of the same packets would occupy. The
+//! `state_ratio` field is the bounded-memory claim made measurable: it
+//! grows with capture length while `peak_state_bytes` stays put (the
+//! paper-scale demonstration lives in `examples/paper_scale.rs`).
+
+use iotlan_core::netsim::SimDuration;
+use iotlan_core::stream::engine::stream_capture;
+use iotlan_core::stream::{StreamEngine, StreamReport};
+use iotlan_core::{Lab, LabConfig};
+use iotlan_util::bench::Criterion;
+use iotlan_util::json;
+use std::time::Instant;
+
+fn capture_config(quick: bool) -> LabConfig {
+    LabConfig {
+        seed: 42,
+        idle_duration: SimDuration::from_mins(if quick { 4 } else { 20 }),
+        interactions: if quick { 20 } else { 200 },
+        with_honeypot: true,
+    }
+}
+
+/// Median wall-clock nanoseconds over `reps` runs of `f`.
+fn median_ns(reps: usize, f: impl Fn()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn emit_throughput(id: &str, report: &StreamReport, elapsed_ns: f64) {
+    let mut line = json::Map::new();
+    line.insert("type".into(), json::Value::from("throughput"));
+    line.insert("id".into(), json::Value::from(id));
+    line.insert("packets".into(), json::Value::from(report.packets));
+    line.insert(
+        "packets_per_sec".into(),
+        json::Value::from(report.packets as f64 / (elapsed_ns / 1e9).max(1e-9)),
+    );
+    line.insert(
+        "peak_state_bytes".into(),
+        json::Value::from(report.peak_state_bytes as u64),
+    );
+    line.insert(
+        "streamed_bytes".into(),
+        json::Value::from(report.streamed_bytes),
+    );
+    line.insert(
+        "state_ratio".into(),
+        json::Value::from(report.streamed_bytes as f64 / (report.peak_state_bytes as f64).max(1.0)),
+    );
+    println!("{}", json::Value::Object(line));
+}
+
+fn bench(criterion: &mut Criterion) {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let config = capture_config(quick);
+
+    let mut lab = Lab::new(config.clone());
+    lab.run_idle();
+    lab.run_interactions(SimDuration::from_mins(1));
+    let capture = lab.network.capture.clone();
+    let catalog = &lab.catalog;
+    let image = capture.to_pcap();
+
+    // Harness-timed medians for trajectory tracking.
+    let mut group = criterion.benchmark_group("perf_stream");
+    group.bench_function("engine_frames", |b| {
+        b.iter(|| std::hint::black_box(stream_capture(&capture, catalog)))
+    });
+    group.bench_function("engine_pcap_4k_chunks", |b| {
+        b.iter(|| {
+            let mut engine = StreamEngine::new(catalog);
+            for chunk in image.chunks(4096) {
+                engine.push_pcap_chunk(chunk).unwrap();
+            }
+            std::hint::black_box(engine.finish().unwrap())
+        })
+    });
+    group.finish();
+
+    // Machine-readable throughput lines.
+    let reps = if quick { 3 } else { 5 };
+    let frames_ns = median_ns(reps, || {
+        std::hint::black_box(stream_capture(&capture, catalog));
+    });
+    let report = stream_capture(&capture, catalog);
+    emit_throughput("engine_frames", &report, frames_ns);
+
+    let pcap_ns = median_ns(reps, || {
+        let mut engine = StreamEngine::new(catalog);
+        for chunk in image.chunks(4096) {
+            engine.push_pcap_chunk(chunk).unwrap();
+        }
+        std::hint::black_box(engine.finish().unwrap());
+    });
+    let pcap_report = {
+        let mut engine = StreamEngine::new(catalog);
+        for chunk in image.chunks(4096) {
+            engine.push_pcap_chunk(chunk).unwrap();
+        }
+        engine.finish().unwrap()
+    };
+    emit_throughput("engine_pcap_4k_chunks", &pcap_report, pcap_ns);
+
+    // End-to-end bounded-memory run: windowed simulation draining into the
+    // engine, never materializing the capture.
+    let start = Instant::now();
+    let mut streaming_lab = Lab::new(config);
+    let streaming_report =
+        streaming_lab.run_streaming_report(SimDuration::from_mins(1), SimDuration::from_secs(30));
+    emit_throughput(
+        "lab_run_streaming",
+        &streaming_report,
+        start.elapsed().as_nanos() as f64,
+    );
+}
+
+iotlan_util::bench_main!(bench);

@@ -73,6 +73,143 @@ impl Flow {
     }
 }
 
+/// One dissected frame: the flow key it belongs to plus the per-frame
+/// evidence flow assembly records. Shared by [`FlowTable::add_frame`] and
+/// the streaming engine so the two paths key frames identically by
+/// construction.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameEvidence<'a> {
+    pub key: FlowKey,
+    /// Destination MAC of this frame.
+    pub dst_mac: EthernetAddress,
+    /// Transport payload, when the frame carries one.
+    pub payload: Option<&'a [u8]>,
+}
+
+/// Dissect a raw Ethernet frame into its flow key and evidence. Returns
+/// `None` only when the frame is too short to carry an Ethernet header —
+/// every longer frame maps to some (possibly L2 pseudo-) flow.
+pub fn dissect_frame(data: &[u8]) -> Option<FrameEvidence<'_>> {
+    let eth = Frame::new_checked(data).ok()?;
+    let src_mac = eth.src_addr();
+    let dst_mac = eth.dst_addr();
+    let ethertype = eth.ethertype();
+
+    let l2_key = FlowKey {
+        transport: Transport::L2(u16::from(ethertype)),
+        src_ip: None,
+        dst_ip: None,
+        src_port: 0,
+        dst_port: 0,
+        src_mac,
+    };
+    let (key, payload): (FlowKey, Option<&[u8]>) = match stack::dissect(data) {
+        Some(d) => match d.content {
+            Content::UdpV4 {
+                src,
+                dst,
+                sport,
+                dport,
+                payload,
+            } => (
+                FlowKey {
+                    transport: Transport::Udp,
+                    src_ip: Some(src),
+                    dst_ip: Some(dst),
+                    src_port: sport,
+                    dst_port: dport,
+                    src_mac,
+                },
+                Some(payload),
+            ),
+            Content::TcpV4 {
+                src,
+                dst,
+                ref repr,
+                payload,
+            } => (
+                FlowKey {
+                    transport: Transport::Tcp,
+                    src_ip: Some(src),
+                    dst_ip: Some(dst),
+                    src_port: repr.src_port,
+                    dst_port: repr.dst_port,
+                    src_mac,
+                },
+                Some(payload),
+            ),
+            Content::IcmpV4 { src, dst, .. } => (
+                FlowKey {
+                    transport: Transport::Icmp,
+                    src_ip: Some(src),
+                    dst_ip: Some(dst),
+                    src_port: 0,
+                    dst_port: 0,
+                    src_mac,
+                },
+                None,
+            ),
+            Content::Igmp { src, dst, .. } => (
+                FlowKey {
+                    transport: Transport::Igmp,
+                    src_ip: Some(src),
+                    dst_ip: Some(dst),
+                    src_port: 0,
+                    dst_port: 0,
+                    src_mac,
+                },
+                None,
+            ),
+            Content::IcmpV6 { .. } => (
+                FlowKey {
+                    transport: Transport::IcmpV6,
+                    src_ip: None,
+                    dst_ip: None,
+                    src_port: 0,
+                    dst_port: 0,
+                    src_mac,
+                },
+                None,
+            ),
+            Content::UdpV6 {
+                sport,
+                dport,
+                payload,
+                ..
+            } => (
+                FlowKey {
+                    transport: Transport::UdpV6,
+                    src_ip: None,
+                    dst_ip: None,
+                    src_port: sport,
+                    dst_port: dport,
+                    src_mac,
+                },
+                Some(payload),
+            ),
+            Content::OtherIpv4 { src, dst, protocol } => (
+                FlowKey {
+                    transport: Transport::OtherIp(u8::from(protocol)),
+                    src_ip: Some(src),
+                    dst_ip: Some(dst),
+                    src_port: 0,
+                    dst_port: 0,
+                    src_mac,
+                },
+                None,
+            ),
+            Content::Arp(_) | Content::OtherEther => (l2_key, None),
+        },
+        // Undissectable (corrupt/unknown): L2 pseudo-flow.
+        None => (l2_key, None),
+    };
+    Some(FrameEvidence {
+        key,
+        dst_mac,
+        payload,
+    })
+}
+
 /// The assembled flow table for one capture.
 #[derive(Debug, Default, Clone)]
 pub struct FlowTable {
@@ -94,145 +231,14 @@ impl FlowTable {
 
     /// Add one raw frame.
     pub fn add_frame(&mut self, time: SimTime, data: &[u8]) {
-        let Ok(eth) = Frame::new_checked(data) else {
+        let Some(FrameEvidence {
+            key,
+            dst_mac,
+            payload,
+        }) = dissect_frame(data)
+        else {
             return;
         };
-        let src_mac = eth.src_addr();
-        let dst_mac = eth.dst_addr();
-        let ethertype = eth.ethertype();
-
-        let (key, payload_len, payload): (FlowKey, usize, Option<&[u8]>) =
-            match stack::dissect(data) {
-                Some(d) => match d.content {
-                    Content::UdpV4 {
-                        src,
-                        dst,
-                        sport,
-                        dport,
-                        payload,
-                    } => (
-                        FlowKey {
-                            transport: Transport::Udp,
-                            src_ip: Some(src),
-                            dst_ip: Some(dst),
-                            src_port: sport,
-                            dst_port: dport,
-                            src_mac,
-                        },
-                        payload.len(),
-                        Some(payload),
-                    ),
-                    Content::TcpV4 {
-                        src,
-                        dst,
-                        ref repr,
-                        payload,
-                    } => (
-                        FlowKey {
-                            transport: Transport::Tcp,
-                            src_ip: Some(src),
-                            dst_ip: Some(dst),
-                            src_port: repr.src_port,
-                            dst_port: repr.dst_port,
-                            src_mac,
-                        },
-                        payload.len(),
-                        Some(payload),
-                    ),
-                    Content::IcmpV4 { src, dst, .. } => (
-                        FlowKey {
-                            transport: Transport::Icmp,
-                            src_ip: Some(src),
-                            dst_ip: Some(dst),
-                            src_port: 0,
-                            dst_port: 0,
-                            src_mac,
-                        },
-                        0,
-                        None,
-                    ),
-                    Content::Igmp { src, dst, .. } => (
-                        FlowKey {
-                            transport: Transport::Igmp,
-                            src_ip: Some(src),
-                            dst_ip: Some(dst),
-                            src_port: 0,
-                            dst_port: 0,
-                            src_mac,
-                        },
-                        0,
-                        None,
-                    ),
-                    Content::IcmpV6 { .. } => (
-                        FlowKey {
-                            transport: Transport::IcmpV6,
-                            src_ip: None,
-                            dst_ip: None,
-                            src_port: 0,
-                            dst_port: 0,
-                            src_mac,
-                        },
-                        0,
-                        None,
-                    ),
-                    Content::UdpV6 {
-                        sport,
-                        dport,
-                        payload,
-                        ..
-                    } => (
-                        FlowKey {
-                            transport: Transport::UdpV6,
-                            src_ip: None,
-                            dst_ip: None,
-                            src_port: sport,
-                            dst_port: dport,
-                            src_mac,
-                        },
-                        payload.len(),
-                        Some(payload),
-                    ),
-                    Content::OtherIpv4 { src, dst, protocol } => (
-                        FlowKey {
-                            transport: Transport::OtherIp(u8::from(protocol)),
-                            src_ip: Some(src),
-                            dst_ip: Some(dst),
-                            src_port: 0,
-                            dst_port: 0,
-                            src_mac,
-                        },
-                        0,
-                        None,
-                    ),
-                    Content::Arp(_) | Content::OtherEther => (
-                        FlowKey {
-                            transport: Transport::L2(u16::from(ethertype)),
-                            src_ip: None,
-                            dst_ip: None,
-                            src_port: 0,
-                            dst_port: 0,
-                            src_mac,
-                        },
-                        0,
-                        None,
-                    ),
-                },
-                // Undissectable (corrupt/unknown): L2 pseudo-flow.
-                None => (
-                    FlowKey {
-                        transport: Transport::L2(u16::from(ethertype)),
-                        src_ip: None,
-                        dst_ip: None,
-                        src_port: 0,
-                        dst_port: 0,
-                        src_mac,
-                    },
-                    0,
-                    None,
-                ),
-            };
-
-        let _ = payload_len;
         let total_len = data.len() as u64;
         match self.index.get(&key) {
             Some(&i) => {

@@ -17,7 +17,7 @@ use iotlan_devices::{build_testbed, Catalog, Device};
 use iotlan_honeypot::Honeypot;
 use iotlan_netsim::router::{Router, GATEWAY_MAC};
 use iotlan_netsim::stack::{self, Endpoint};
-use iotlan_netsim::{Network, NodeId, SimDuration};
+use iotlan_netsim::{FrameSink, Network, NodeId, SimDuration};
 use iotlan_wire::ethernet::EthernetAddress;
 use iotlan_wire::{tcp, tplink};
 use iotlan_util::rng::Rng;
@@ -76,6 +76,16 @@ const CONTROLLER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 10, 241);
 const HONEYPOT_MAC: EthernetAddress = EthernetAddress([0x02, 0xca, 0x4a, 0x00, 0x00, 0x03]);
 const HONEYPOT_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 10, 200);
 
+/// One companion-app control action the lab controller can issue.
+/// Controllable targets: TP-Link plugs (SHP over TCP), HTTP devices, TLS
+/// devices.
+#[derive(Clone)]
+enum Action {
+    TplinkRelay(Endpoint),
+    HttpGet(Endpoint, u16, String),
+    TlsPing(Endpoint, u16),
+}
+
 impl Lab {
     /// Build the full testbed.
     pub fn new(config: LabConfig) -> Lab {
@@ -106,27 +116,10 @@ impl Lab {
         self.network.run_for(duration);
     }
 
-    /// Inject scripted interactions: companion-style control commands to
-    /// random controllable devices, spaced through `span`.
-    pub fn run_interactions(&mut self, span: SimDuration) {
-        let controller = Endpoint {
-            mac: CONTROLLER_MAC,
-            ip: CONTROLLER_IP,
-        };
-        let count = self.config.interactions;
-        if count == 0 {
-            self.network.run_for(span);
-            return;
-        }
-        let step = SimDuration::from_micros(span.as_micros() / u64::from(count).max(1));
-        // Controllable targets: TP-Link plugs (SHP over TCP), HTTP devices,
-        // TLS devices.
-        #[derive(Clone)]
-        enum Action {
-            TplinkRelay(Endpoint),
-            HttpGet(Endpoint, u16, String),
-            TlsPing(Endpoint, u16),
-        }
+    /// The controllable-action pool, derived purely from the catalog (one
+    /// entry per device×capability, in catalog order, so the interaction
+    /// RNG draws the same sequence in batch and streaming runs).
+    fn controllable_actions(&self) -> Vec<Action> {
         let mut actions: Vec<Action> = Vec::new();
         for device in &self.catalog.devices {
             let endpoint = Endpoint {
@@ -147,56 +140,145 @@ impl Lab {
                 actions.push(Action::TlsPing(endpoint, tls.port));
             }
         }
-        for index in 0..count {
-            let action = actions[self.interaction_rng.gen_range(0..actions.len())].clone();
-            let sport = 50000 + (index % 10000) as u16;
-            match action {
-                Action::TplinkRelay(target) => {
-                    let on = index % 2 == 0;
-                    let command = tplink::Message::set_relay_state(on).to_tcp_bytes();
-                    self.network.inject_frame(stack::tcp_segment(
-                        controller,
-                        target,
-                        &tcp::Repr::syn(sport, 9999, u32::from(index)),
-                        &[],
-                    ));
-                    self.network.inject_frame(stack::tcp_segment(
-                        controller,
-                        target,
-                        &tcp::Repr::data(sport, 9999, u32::from(index) + 1, 0x2001, command.len()),
-                        &command,
-                    ));
-                }
-                Action::HttpGet(target, port, path) => {
-                    let request =
-                        iotlan_wire::http::Request::get(&path, iotlan_wire::http::Headers::new())
-                            .to_bytes();
-                    self.network.inject_frame(stack::tcp_segment(
-                        controller,
-                        target,
-                        &tcp::Repr::data(sport, port, 1, 0x2001, request.len()),
-                        &request,
-                    ));
-                }
-                Action::TlsPing(target, port) => {
-                    let hello = iotlan_wire::tls::Handshake::ClientHello {
-                        version: iotlan_wire::tls::Version::Tls12,
-                        supported_versions: vec![],
-                        server_name: None,
-                        cipher_suites: vec![0xc02f],
-                    }
-                    .into_record(iotlan_wire::tls::Version::Tls12)
-                    .to_bytes();
-                    self.network.inject_frame(stack::tcp_segment(
-                        controller,
-                        target,
-                        &tcp::Repr::data(sport, port, 1, 0x2001, hello.len()),
-                        &hello,
-                    ));
-                }
+        actions
+    }
+
+    /// Draw one action from the interaction stream and inject its frames.
+    /// Advances `interaction_rng` by exactly one draw per call.
+    fn inject_interaction(&mut self, index: u32, actions: &[Action]) {
+        let controller = Endpoint {
+            mac: CONTROLLER_MAC,
+            ip: CONTROLLER_IP,
+        };
+        let action = actions[self.interaction_rng.gen_range(0..actions.len())].clone();
+        let sport = 50000 + (index % 10000) as u16;
+        match action {
+            Action::TplinkRelay(target) => {
+                let on = index % 2 == 0;
+                let command = tplink::Message::set_relay_state(on).to_tcp_bytes();
+                self.network.inject_frame(stack::tcp_segment(
+                    controller,
+                    target,
+                    &tcp::Repr::syn(sport, 9999, u32::from(index)),
+                    &[],
+                ));
+                self.network.inject_frame(stack::tcp_segment(
+                    controller,
+                    target,
+                    &tcp::Repr::data(sport, 9999, u32::from(index) + 1, 0x2001, command.len()),
+                    &command,
+                ));
             }
+            Action::HttpGet(target, port, path) => {
+                let request =
+                    iotlan_wire::http::Request::get(&path, iotlan_wire::http::Headers::new())
+                        .to_bytes();
+                self.network.inject_frame(stack::tcp_segment(
+                    controller,
+                    target,
+                    &tcp::Repr::data(sport, port, 1, 0x2001, request.len()),
+                    &request,
+                ));
+            }
+            Action::TlsPing(target, port) => {
+                let hello = iotlan_wire::tls::Handshake::ClientHello {
+                    version: iotlan_wire::tls::Version::Tls12,
+                    supported_versions: vec![],
+                    server_name: None,
+                    cipher_suites: vec![0xc02f],
+                }
+                .into_record(iotlan_wire::tls::Version::Tls12)
+                .to_bytes();
+                self.network.inject_frame(stack::tcp_segment(
+                    controller,
+                    target,
+                    &tcp::Repr::data(sport, port, 1, 0x2001, hello.len()),
+                    &hello,
+                ));
+            }
+        }
+    }
+
+    /// Inject scripted interactions: companion-style control commands to
+    /// random controllable devices, spaced through `span`.
+    pub fn run_interactions(&mut self, span: SimDuration) {
+        let count = self.config.interactions;
+        if count == 0 {
+            self.network.run_for(span);
+            return;
+        }
+        let step = SimDuration::from_micros(span.as_micros() / u64::from(count).max(1));
+        let actions = self.controllable_actions();
+        for index in 0..count {
+            self.inject_interaction(index, &actions);
             self.network.run_for(step);
         }
+    }
+
+    /// Run `span` of simulation in `window`-sized slices, draining the AP
+    /// capture into `sink` after each slice. The event queue processes
+    /// events in `(time, seq)` order with an inclusive deadline and carries
+    /// pending events across calls, so `run_for(a); run_for(b)` dispatches
+    /// the exact event sequence of `run_for(a + b)` — the drained frame
+    /// stream is byte-identical to a batch capture of the same span.
+    fn run_windowed(&mut self, span: SimDuration, window: SimDuration, sink: &mut impl FrameSink) {
+        let mut remaining = span.as_micros();
+        let window_micros = window.as_micros().max(1);
+        while remaining > 0 {
+            let slice = remaining.min(window_micros);
+            self.network.run_for(SimDuration::from_micros(slice));
+            self.network.capture.drain_into(sink);
+            remaining -= slice;
+        }
+    }
+
+    /// Run the full collection — the idle capture plus the configured
+    /// interaction script over `interaction_span` — feeding every captured
+    /// frame into `sink` and keeping at most one `window` (or one
+    /// interaction step) of frames buffered at the AP.
+    ///
+    /// This produces the *identical* frame sequence as
+    /// `run_idle()` + `run_interactions(interaction_span)` on a fresh lab
+    /// with the same config: the simulation split is exact (see
+    /// `run_windowed`) and the interaction RNG draws the same action
+    /// sequence. The difference is memory: the batch path materializes the
+    /// whole capture; this path is O(window).
+    pub fn run_streaming(
+        &mut self,
+        interaction_span: SimDuration,
+        window: SimDuration,
+        sink: &mut impl FrameSink,
+    ) {
+        let idle = self.config.idle_duration;
+        self.run_windowed(idle, window, sink);
+        let count = self.config.interactions;
+        if count == 0 {
+            self.run_windowed(interaction_span, window, sink);
+            return;
+        }
+        let step = SimDuration::from_micros(interaction_span.as_micros() / u64::from(count).max(1));
+        let actions = self.controllable_actions();
+        for index in 0..count {
+            self.inject_interaction(index, &actions);
+            self.network.run_for(step);
+            self.network.capture.drain_into(sink);
+        }
+    }
+
+    /// [`run_streaming`](Lab::run_streaming) into a fresh
+    /// [`StreamEngine`](iotlan_stream::StreamEngine), returning the
+    /// finished report. The engine snapshots the catalog up front, so the
+    /// whole idle + interaction collection runs in bounded memory.
+    pub fn run_streaming_report(
+        &mut self,
+        interaction_span: SimDuration,
+        window: SimDuration,
+    ) -> iotlan_stream::StreamReport {
+        let mut engine = iotlan_stream::StreamEngine::new(&self.catalog);
+        self.run_streaming(interaction_span, window, &mut engine);
+        engine
+            .finish()
+            .expect("frame-fed engine has no pcap parse errors")
     }
 
     /// Deploy the instrumented phone with an app list; runs during
@@ -411,6 +493,60 @@ mod tests {
             .frames()
             .windows(2)
             .all(|pair| pair[0].time <= pair[1].time));
+    }
+
+    #[test]
+    fn streaming_run_matches_batch_capture_and_report() {
+        use iotlan_netsim::SimTime;
+        struct Collect(Vec<(SimTime, Vec<u8>)>);
+        impl FrameSink for Collect {
+            fn on_frame(&mut self, time: SimTime, data: &[u8]) {
+                self.0.push((time, data.to_vec()));
+            }
+        }
+        let config = LabConfig {
+            seed: 11,
+            idle_duration: SimDuration::from_mins(1),
+            interactions: 6,
+            with_honeypot: true,
+        };
+        let span = SimDuration::from_secs(24);
+        // A window that does not divide the idle duration, to exercise the
+        // remainder slice.
+        let window = SimDuration::from_secs(13);
+
+        let mut batch = Lab::new(config.clone());
+        batch.run_idle();
+        batch.run_interactions(span);
+        let batch_pcap = batch.network.capture.to_pcap();
+
+        let mut streamed = Lab::new(config.clone());
+        let mut sink = Collect(Vec::new());
+        streamed.run_streaming(span, window, &mut sink);
+        assert!(
+            streamed.network.capture.is_empty(),
+            "every frame must be drained into the sink"
+        );
+        let rebuilt = iotlan_netsim::Capture::from_frames(sink.0);
+        assert_eq!(
+            rebuilt.to_pcap(),
+            batch_pcap,
+            "windowed streaming must replay the batch frame sequence exactly"
+        );
+
+        // And the convenience runner's report matches the batch analyses.
+        let mut reported = Lab::new(config);
+        let report = reported.run_streaming_report(span, window);
+        let table = batch.flow_table();
+        assert_eq!(report.packets, batch.network.capture.len() as u64);
+        assert_eq!(
+            report.graph(&batch.catalog).render(),
+            iotlan_analysis::graph::build_graph(&table, &batch.catalog).render()
+        );
+        assert_eq!(
+            report.prevalence(&batch.catalog).render(),
+            iotlan_analysis::prevalence::passive_prevalence(&table, &batch.catalog).render()
+        );
     }
 
     #[test]

@@ -33,4 +33,5 @@ pub use iotlan_honeypot as honeypot;
 pub use iotlan_inspector as inspector;
 pub use iotlan_netsim as netsim;
 pub use iotlan_scan as scan;
+pub use iotlan_stream as stream;
 pub use iotlan_wire as wire;

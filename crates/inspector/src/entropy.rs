@@ -109,6 +109,44 @@ impl EntropyTable {
     }
 }
 
+/// The identifier values one device exposes in its discovery payloads —
+/// the extraction step shared by the batch Table 2 analysis below and the
+/// bounded-memory crowd estimator in `iotlan-stream`.
+#[derive(Debug, Clone)]
+pub struct DeviceIdentifiers {
+    pub class: IdentifierClass,
+    pub names: Vec<String>,
+    pub uuids: Vec<String>,
+    pub macs: Vec<String>,
+}
+
+/// Extract a device's exposed identifiers. `None` when the device carries
+/// no discovery payloads (such devices were never collected and are
+/// excluded from every Table 2 aggregate).
+pub fn extract_device_identifiers(device: &crate::dataset::Device) -> Option<DeviceIdentifiers> {
+    if device.mdns_responses.is_empty() && device.ssdp_responses.is_empty() {
+        return None;
+    }
+    let text = format!(
+        "{}\n{}",
+        device.mdns_responses.join("\n"),
+        device.ssdp_responses.join("\n")
+    );
+    let names = ident::extract_names(&text);
+    let uuids = ident::extract_uuids(&text);
+    let macs = ident::extract_macs_with_oui(&text, &device.oui);
+    Some(DeviceIdentifiers {
+        class: IdentifierClass {
+            name: !names.is_empty(),
+            uuid: !uuids.is_empty(),
+            mac: !macs.is_empty(),
+        },
+        names,
+        uuids,
+        macs,
+    })
+}
+
 struct DeviceExtraction<'a> {
     household: usize,
     vendor: &'a str,
@@ -131,33 +169,17 @@ pub fn analyze(dataset: &Dataset) -> EntropyTable {
             household
                 .devices
                 .iter()
-                .filter(|device| {
-                    // Devices without discovery payloads were never collected.
-                    !device.mdns_responses.is_empty() || !device.ssdp_responses.is_empty()
-                })
-                .map(|device| {
-                    let text = format!(
-                        "{}\n{}",
-                        device.mdns_responses.join("\n"),
-                        device.ssdp_responses.join("\n")
-                    );
-                    let names = ident::extract_names(&text);
-                    let uuids = ident::extract_uuids(&text);
-                    let macs = ident::extract_macs_with_oui(&text, &device.oui);
-                    let class = IdentifierClass {
-                        name: !names.is_empty(),
-                        uuid: !uuids.is_empty(),
-                        mac: !macs.is_empty(),
-                    };
-                    DeviceExtraction {
+                .filter_map(|device| {
+                    let identifiers = extract_device_identifiers(device)?;
+                    Some(DeviceExtraction {
                         household: house_index,
                         vendor: &device.truth_vendor,
                         product: (device.truth_vendor.clone(), device.truth_category.clone()),
-                        class,
-                        names,
-                        uuids,
-                        macs,
-                    }
+                        class: identifiers.class,
+                        names: identifiers.names,
+                        uuids: identifiers.uuids,
+                        macs: identifiers.macs,
+                    })
                 })
                 .collect()
         });

@@ -29,6 +29,18 @@ impl CapturedFrame {
     }
 }
 
+/// A consumer of captured frames, fed one at a time in record order.
+///
+/// This is the streaming tap: `iotlan-stream`'s engine implements it so a
+/// simulation can analyze frames as they are drained instead of
+/// materializing the whole capture. Frames arrive in *record* order (the
+/// order the AP traced them), which is not strictly timestamp order —
+/// scheduled transmissions are stamped with their future tx time, so
+/// consumers must tolerate a bounded backward time skew.
+pub trait FrameSink {
+    fn on_frame(&mut self, time: SimTime, data: &[u8]);
+}
+
 /// The full promiscuous capture at the AP.
 #[derive(Debug, Default, Clone)]
 pub struct Capture {
@@ -45,6 +57,18 @@ impl Capture {
             time,
             data: data.to_vec(),
         });
+    }
+
+    /// Build a capture from pre-stamped frames, kept in the given order
+    /// (which should be record order). For replay tooling and tests that
+    /// need a capture without running a simulation.
+    pub fn from_frames(frames: Vec<(SimTime, Vec<u8>)>) -> Capture {
+        Capture {
+            frames: frames
+                .into_iter()
+                .map(|(time, data)| CapturedFrame { time, data })
+                .collect(),
+        }
     }
 
     /// All captured frames, in time order.
@@ -94,6 +118,25 @@ impl Capture {
             .collect();
         frames.sort_by_key(|frame| frame.time);
         Capture { frames }
+    }
+
+    /// Replay every recorded frame into `sink`, in record order, without
+    /// consuming the capture.
+    pub fn stream_into(&self, sink: &mut impl FrameSink) {
+        for frame in &self.frames {
+            sink.on_frame(frame.time, &frame.data);
+        }
+    }
+
+    /// Drain all buffered frames into `sink`, leaving the capture empty.
+    ///
+    /// This is the bounded-memory tap: a driver that runs the simulation in
+    /// windows and drains between them never holds more than one window of
+    /// frames, no matter how long the run.
+    pub fn drain_into(&mut self, sink: &mut impl FrameSink) {
+        for frame in self.frames.drain(..) {
+            sink.on_frame(frame.time, &frame.data);
+        }
     }
 
     /// Export the whole capture as a pcap file image.
@@ -190,6 +233,27 @@ mod tests {
             Capture::merge(&[a.clone(), b.clone()]).to_pcap(),
             Capture::merge(&[a, b]).to_pcap()
         );
+    }
+
+    #[test]
+    fn stream_and_drain_tap() {
+        struct Collector(Vec<(SimTime, usize)>);
+        impl FrameSink for Collector {
+            fn on_frame(&mut self, time: SimTime, data: &[u8]) {
+                self.0.push((time, data.len()));
+            }
+        }
+        let mut capture = Capture::new();
+        capture.record(SimTime::from_secs(1), &frame(1, 2));
+        capture.record(SimTime::from_secs(2), &frame(2, 1));
+        let mut seen = Collector(Vec::new());
+        capture.stream_into(&mut seen);
+        assert_eq!(seen.0.len(), 2);
+        assert_eq!(capture.len(), 2, "stream_into must not consume");
+        let mut drained = Collector(Vec::new());
+        capture.drain_into(&mut drained);
+        assert_eq!(drained.0, seen.0, "drain replays the same frames");
+        assert!(capture.is_empty(), "drain_into empties the buffer");
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Crowd-scale identifier-space estimation over IoT-Inspector datasets.
+//!
+//! The batch Table 2 analysis (`iotlan_inspector::entropy::analyze`)
+//! materializes global sets of every name/UUID/MAC string in the dataset
+//! to compute the per-type value-space entropy `log2(distinct values)` —
+//! O(identifier cardinality) memory, which is exactly what stops scaling
+//! first on a crowd feed. This module streams the same extraction
+//! (`entropy::extract_device_identifiers`, shared with the batch path)
+//! into KMV [`Distinct`] sketches instead: O(k) memory per identifier
+//! type, relative standard error ≈ `1/sqrt(k-2)` on the distinct counts,
+//! and therefore ≈ `log2(1 ± ε)` ≈ 1.44·ε bits of error on the entropy.
+//!
+//! Households fan out over the deterministic pool and the per-household
+//! sketches merge in input order. KMV union is associative and
+//! commutative, so the merged sketches — and every estimate derived from
+//! them — are bit-identical at any `IOTLAN_THREADS` setting.
+
+use crate::sketch::Distinct;
+use iotlan_inspector::dataset::Dataset;
+use iotlan_inspector::entropy::extract_device_identifiers;
+use iotlan_util::pool;
+
+/// Sketched global identifier value-spaces for one dataset.
+#[derive(Debug, Clone)]
+pub struct IdentifierSpaceEstimate {
+    pub names: Distinct,
+    pub uuids: Distinct,
+    pub macs: Distinct,
+    /// Devices carrying discovery payloads (exact; it's a sum, not a set).
+    pub analyzed_devices: u64,
+}
+
+impl IdentifierSpaceEstimate {
+    /// Estimated `log2(distinct values)` for one sketch — the per-type
+    /// entropy column the Table 2 combination rows add up.
+    fn bits(sketch: &Distinct) -> f64 {
+        let estimate = sketch.estimate();
+        if estimate < 1.0 {
+            0.0
+        } else {
+            estimate.log2()
+        }
+    }
+
+    pub fn name_bits(&self) -> f64 {
+        Self::bits(&self.names)
+    }
+
+    pub fn uuid_bits(&self) -> f64 {
+        Self::bits(&self.uuids)
+    }
+
+    pub fn mac_bits(&self) -> f64 {
+        Self::bits(&self.macs)
+    }
+
+    /// Resident bytes across the three sketches.
+    pub fn state_bytes(&self) -> usize {
+        self.names.state_bytes() + self.uuids.state_bytes() + self.macs.state_bytes()
+    }
+}
+
+/// Stream every household's discovery payloads into per-type KMV sketches
+/// of size `k`, in parallel over the pool, merging in household order.
+pub fn estimate_identifier_space(dataset: &Dataset, k: usize, seed: u64) -> IdentifierSpaceEstimate {
+    let shards = pool::par_map(&dataset.households, |_, household| {
+        let mut shard = IdentifierSpaceEstimate {
+            names: Distinct::new(k, seed ^ 0x6e61),
+            uuids: Distinct::new(k, seed ^ 0x7575),
+            macs: Distinct::new(k, seed ^ 0x6d61),
+            analyzed_devices: 0,
+        };
+        for device in &household.devices {
+            let Some(identifiers) = extract_device_identifiers(device) else {
+                continue;
+            };
+            shard.analyzed_devices += 1;
+            for value in &identifiers.names {
+                shard.names.insert(value.as_bytes());
+            }
+            for value in &identifiers.uuids {
+                shard.uuids.insert(value.as_bytes());
+            }
+            for value in &identifiers.macs {
+                shard.macs.insert(value.as_bytes());
+            }
+        }
+        shard
+    });
+    let mut merged = IdentifierSpaceEstimate {
+        names: Distinct::new(k, seed ^ 0x6e61),
+        uuids: Distinct::new(k, seed ^ 0x7575),
+        macs: Distinct::new(k, seed ^ 0x6d61),
+        analyzed_devices: 0,
+    };
+    for shard in shards {
+        merged.names.merge(&shard.names);
+        merged.uuids.merge(&shard.uuids);
+        merged.macs.merge(&shard.macs);
+        merged.analyzed_devices += shard.analyzed_devices;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotlan_inspector::dataset::{generate, GeneratorConfig};
+    use std::collections::BTreeSet;
+
+    fn small_dataset() -> Dataset {
+        generate(&GeneratorConfig {
+            seed: 0xc0ffee,
+            households: 400,
+        })
+    }
+
+    #[test]
+    fn estimates_track_exact_distinct_counts() {
+        let dataset = small_dataset();
+        let mut exact_names: BTreeSet<String> = BTreeSet::new();
+        let mut exact_uuids: BTreeSet<String> = BTreeSet::new();
+        let mut exact_macs: BTreeSet<String> = BTreeSet::new();
+        for household in &dataset.households {
+            for device in &household.devices {
+                if let Some(identifiers) = extract_device_identifiers(device) {
+                    exact_names.extend(identifiers.names.iter().cloned());
+                    exact_uuids.extend(identifiers.uuids.iter().cloned());
+                    exact_macs.extend(identifiers.macs.iter().cloned());
+                }
+            }
+        }
+        let k = 256;
+        let estimate = estimate_identifier_space(&dataset, k, 7);
+        // 6 sigma of the documented RSE 1/sqrt(k-2); exact below k.
+        let tolerance = 6.0 / ((k as f64) - 2.0).sqrt();
+        for (sketch, exact) in [
+            (&estimate.names, exact_names.len()),
+            (&estimate.uuids, exact_uuids.len()),
+            (&estimate.macs, exact_macs.len()),
+        ] {
+            let estimated = sketch.estimate();
+            if exact < k {
+                assert_eq!(estimated, exact as f64, "exact below k");
+            } else {
+                let relative = (estimated - exact as f64).abs() / exact as f64;
+                assert!(
+                    relative < tolerance,
+                    "relative error {relative} vs tolerance {tolerance} (exact {exact})"
+                );
+            }
+        }
+        assert!(estimate.state_bytes() <= 3 * k * 8);
+    }
+
+    #[test]
+    fn estimate_is_thread_count_invariant() {
+        let dataset = small_dataset();
+        let reference = pool::with_threads(1, || estimate_identifier_space(&dataset, 128, 3));
+        for threads in [2usize, 4] {
+            let result = pool::with_threads(threads, || estimate_identifier_space(&dataset, 128, 3));
+            assert_eq!(result.names, reference.names);
+            assert_eq!(result.uuids, reference.uuids);
+            assert_eq!(result.macs, reference.macs);
+            assert_eq!(result.analyzed_devices, reference.analyzed_devices);
+            assert_eq!(
+                result.name_bits().to_bits(),
+                reference.name_bits().to_bits()
+            );
+        }
+    }
+}

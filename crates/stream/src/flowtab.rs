@@ -1,0 +1,376 @@
+//! Bounded streaming flow table: assembles flows like
+//! `iotlan_classify::flow::FlowTable`, but holds at most `capacity` live
+//! flows and retires them deterministically, emitting each completed
+//! [`FlowRecord`] to a sink.
+//!
+//! Two eviction triggers, both deterministic functions of the input
+//! sequence alone:
+//!
+//! * **Idle timeout** — a flow whose `last_seen` has fallen more than
+//!   `idle_timeout` behind the high-water timestamp is retired. Capture
+//!   record order may run ahead of timestamps by a bounded skew (delayed
+//!   sends are stamped ahead; see `DESIGN.md` §7), so the comparison uses
+//!   the *maximum stamp seen*, which is monotone.
+//! * **LRU capacity** — when a new key would exceed `capacity`, the
+//!   least-recently-touched flow is retired first. Recency is a per-table
+//!   monotone sequence number assigned in arrival order, so ties are
+//!   impossible and the victim is unique.
+//!
+//! A key that reappears after its flow was retired starts a *new* record
+//! (a flow "split"). Analyses that
+//! need exactness across splits must keep their own sticky per-key state —
+//! that is precisely what `StreamEngine` does; this table is the
+//! flow-record *stream*, not the figure accumulator.
+
+use iotlan_classify::flow::{dissect_frame, FlowKey, FrameEvidence, MAX_SAMPLES};
+use iotlan_netsim::{SimDuration, SimTime};
+use iotlan_wire::ethernet::EthernetAddress;
+use std::collections::{BTreeMap, HashMap};
+
+/// One completed (retired) flow, with the same evidence fields as the
+/// batch `Flow` but a bounded timestamp list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    pub key: FlowKey,
+    pub packets: u64,
+    pub bytes: u64,
+    pub first_seen: SimTime,
+    pub last_seen: SimTime,
+    /// Destination MAC of the record's first frame.
+    pub dst_mac: EthernetAddress,
+    /// Up to `MAX_SAMPLES` initial non-empty payloads.
+    pub payload_samples: Vec<Vec<u8>>,
+    /// Arrival times, capped at [`StreamFlowTable::timestamp_cap`].
+    pub timestamps: Vec<SimTime>,
+    /// True when `timestamps` was capped (packets > retained times).
+    pub timestamps_truncated: bool,
+}
+
+/// Receiver for retired flows. Records arrive in retirement order, which
+/// is deterministic for a given input sequence.
+pub trait FlowRecordSink {
+    fn on_flow(&mut self, record: FlowRecord);
+}
+
+/// A sink that simply collects records.
+#[derive(Debug, Default)]
+pub struct CollectRecords(pub Vec<FlowRecord>);
+
+impl FlowRecordSink for CollectRecords {
+    fn on_flow(&mut self, record: FlowRecord) {
+        self.0.push(record);
+    }
+}
+
+struct LiveFlow {
+    record: FlowRecord,
+    /// Recency sequence number (monotone per table).
+    touched: u64,
+    /// Sequence number at creation, for final-drain ordering.
+    created: u64,
+}
+
+/// The bounded flow table.
+pub struct StreamFlowTable {
+    capacity: usize,
+    idle_timeout: SimDuration,
+    timestamp_cap: usize,
+    live: HashMap<FlowKey, LiveFlow>,
+    /// touched-seq → key: the LRU order. Rebuilt lazily on touch.
+    recency: BTreeMap<u64, FlowKey>,
+    next_seq: u64,
+    max_stamp: SimTime,
+    retired: u64,
+    frames_since_idle_scan: u32,
+    last_scan_stamp: SimTime,
+}
+
+/// Idle-eviction scans run every this many frames: the scan is O(live
+/// flows), so amortizing keeps per-frame cost O(1). Deterministic — the
+/// cadence depends only on the frame count.
+const IDLE_SCAN_EVERY: u32 = 256;
+
+impl StreamFlowTable {
+    /// `capacity` live flows; flows idle longer than `idle_timeout`
+    /// (against the high-water stamp) retire on the next frame.
+    pub fn new(capacity: usize, idle_timeout: SimDuration) -> StreamFlowTable {
+        assert!(capacity > 0);
+        StreamFlowTable {
+            capacity,
+            idle_timeout,
+            timestamp_cap: 2048,
+            live: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_seq: 0,
+            max_stamp: SimTime::ZERO,
+            retired: 0,
+            frames_since_idle_scan: 0,
+            last_scan_stamp: SimTime::ZERO,
+        }
+    }
+
+    /// Override the per-record timestamp cap (default 2048).
+    pub fn with_timestamp_cap(mut self, cap: usize) -> StreamFlowTable {
+        self.timestamp_cap = cap.max(1);
+        self
+    }
+
+    /// Number of currently live (unretired) flows.
+    pub fn live_flows(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total records retired so far (not counting the final drain).
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Rough resident size, for peak-state accounting.
+    pub fn state_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for flow in self.live.values() {
+            bytes += std::mem::size_of::<FlowKey>() + std::mem::size_of::<FlowRecord>() + 48;
+            bytes += flow.record.timestamps.len() * 8;
+            bytes += flow
+                .record
+                .payload_samples
+                .iter()
+                .map(|p| p.len())
+                .sum::<usize>();
+        }
+        bytes + self.recency.len() * 24
+    }
+
+    /// Feed one frame. Eviction decisions happen before insertion, so a
+    /// frame can retire flows (including, under LRU pressure, some other
+    /// flow) and then extend or create its own.
+    pub fn add_frame(&mut self, time: SimTime, data: &[u8], sink: &mut impl FlowRecordSink) {
+        let Some(FrameEvidence {
+            key,
+            dst_mac,
+            payload,
+        }) = dissect_frame(data)
+        else {
+            return;
+        };
+        if time > self.max_stamp {
+            self.max_stamp = time;
+        }
+        // Amortized idle scan: every IDLE_SCAN_EVERY frames, or sooner when
+        // the high-water stamp jumps (quiet networks emit few frames, so a
+        // count-only cadence would let stale flows linger indefinitely).
+        self.frames_since_idle_scan += 1;
+        let stamp_jumped = self.max_stamp.as_micros() - self.last_scan_stamp.as_micros()
+            >= self.idle_timeout.as_micros() / 4;
+        if self.frames_since_idle_scan >= IDLE_SCAN_EVERY || stamp_jumped {
+            self.frames_since_idle_scan = 0;
+            self.last_scan_stamp = self.max_stamp;
+            self.retire_idle(sink);
+        }
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let total_len = data.len() as u64;
+        if let Some(flow) = self.live.get_mut(&key) {
+            self.recency.remove(&flow.touched);
+            flow.touched = seq;
+            self.recency.insert(seq, key);
+            let record = &mut flow.record;
+            record.packets += 1;
+            record.bytes += total_len;
+            record.last_seen = time;
+            if record.timestamps.len() < self.timestamp_cap {
+                record.timestamps.push(time);
+            } else {
+                record.timestamps_truncated = true;
+            }
+            if record.payload_samples.len() < MAX_SAMPLES {
+                if let Some(p) = payload {
+                    if !p.is_empty() {
+                        record.payload_samples.push(p.to_vec());
+                    }
+                }
+            }
+            return;
+        }
+
+        // New key: make room first.
+        if self.live.len() >= self.capacity {
+            self.retire_lru(sink);
+        }
+        let mut payload_samples = Vec::new();
+        if let Some(p) = payload {
+            if !p.is_empty() {
+                payload_samples.push(p.to_vec());
+            }
+        }
+        self.recency.insert(seq, key);
+        self.live.insert(
+            key,
+            LiveFlow {
+                record: FlowRecord {
+                    key,
+                    packets: 1,
+                    bytes: total_len,
+                    first_seen: time,
+                    last_seen: time,
+                    dst_mac,
+                    payload_samples,
+                    timestamps: vec![time],
+                    timestamps_truncated: false,
+                },
+                touched: seq,
+                created: seq,
+            },
+        );
+    }
+
+    fn retire_idle(&mut self, sink: &mut impl FlowRecordSink) {
+        let horizon_micros = self
+            .max_stamp
+            .as_micros()
+            .saturating_sub(self.idle_timeout.as_micros());
+        // Stamp skew means LRU order is not last-seen order, so scan every
+        // live flow; the recency index gives a deterministic walk (and
+        // therefore a deterministic retirement order).
+        let stale: Vec<(u64, FlowKey)> = self
+            .recency
+            .iter()
+            .filter(|(_, key)| self.live[*key].record.last_seen.as_micros() < horizon_micros)
+            .map(|(&seq, &key)| (seq, key))
+            .collect();
+        for (seq, key) in stale {
+            self.recency.remove(&seq);
+            let flow = self.live.remove(&key).expect("stale key is live");
+            self.retired += 1;
+            sink.on_flow(flow.record);
+        }
+    }
+
+    fn retire_lru(&mut self, sink: &mut impl FlowRecordSink) {
+        if let Some((&seq, &key)) = self.recency.iter().next() {
+            self.recency.remove(&seq);
+            let flow = self.live.remove(&key).expect("LRU key is live");
+            self.retired += 1;
+            sink.on_flow(flow.record);
+        }
+    }
+
+    /// Retire every remaining flow, in creation order (matching the batch
+    /// table's first-seen flow order for never-evicted inputs).
+    pub fn finish(mut self, sink: &mut impl FlowRecordSink) {
+        let mut remaining: Vec<LiveFlow> = self.live.drain().map(|(_, flow)| flow).collect();
+        remaining.sort_by_key(|flow| flow.created);
+        for flow in remaining {
+            sink.on_flow(flow.record);
+        }
+        self.recency.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotlan_netsim::stack::{self, Endpoint};
+    use std::net::Ipv4Addr;
+
+    fn ep(last: u8) -> Endpoint {
+        Endpoint {
+            mac: EthernetAddress([2, 0, 0, 0, 0, last]),
+            ip: Ipv4Addr::new(192, 168, 10, last),
+        }
+    }
+
+    fn frame(src: u8, dst: u8, sport: u16) -> Vec<u8> {
+        stack::udp_unicast(ep(src), ep(dst), sport, 9999, b"payload")
+    }
+
+    #[test]
+    fn matches_batch_table_when_nothing_evicts() {
+        let mut table = StreamFlowTable::new(1024, SimDuration::from_secs(3600));
+        let mut batch = iotlan_classify::flow::FlowTable::default();
+        let mut sink = CollectRecords::default();
+        for i in 0..40u16 {
+            let data = frame((i % 4) as u8 + 1, 9, 1000 + (i % 5));
+            let t = SimTime::from_secs(u64::from(i));
+            table.add_frame(t, &data, &mut sink);
+            batch.add_frame(t, &data);
+        }
+        assert!(sink.0.is_empty(), "nothing should retire early");
+        table.finish(&mut sink);
+        assert_eq!(sink.0.len(), batch.flows.len());
+        for (record, flow) in sink.0.iter().zip(&batch.flows) {
+            assert_eq!(record.key, flow.key);
+            assert_eq!(record.packets, flow.packets);
+            assert_eq!(record.bytes, flow.bytes);
+            assert_eq!(record.first_seen, flow.first_seen);
+            assert_eq!(record.last_seen, flow.last_seen);
+            assert_eq!(record.payload_samples, flow.payload_samples);
+            assert_eq!(record.timestamps, flow.timestamps);
+            assert!(!record.timestamps_truncated);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut table = StreamFlowTable::new(2, SimDuration::from_secs(3600));
+        let mut sink = CollectRecords::default();
+        table.add_frame(SimTime::from_secs(1), &frame(1, 9, 100), &mut sink);
+        table.add_frame(SimTime::from_secs(2), &frame(2, 9, 200), &mut sink);
+        // Touch flow 1 so flow 2 becomes the LRU victim.
+        table.add_frame(SimTime::from_secs(3), &frame(1, 9, 100), &mut sink);
+        table.add_frame(SimTime::from_secs(4), &frame(3, 9, 300), &mut sink);
+        assert_eq!(sink.0.len(), 1);
+        assert_eq!(sink.0[0].key.src_port, 200);
+        assert_eq!(table.live_flows(), 2);
+        assert_eq!(table.retired(), 1);
+    }
+
+    #[test]
+    fn idle_timeout_retires_quiet_flows() {
+        let mut table = StreamFlowTable::new(64, SimDuration::from_secs(10));
+        let mut sink = CollectRecords::default();
+        table.add_frame(SimTime::from_secs(1), &frame(1, 9, 100), &mut sink);
+        table.add_frame(SimTime::from_secs(2), &frame(2, 9, 200), &mut sink);
+        // 30 s later: both earlier flows are stale.
+        table.add_frame(SimTime::from_secs(32), &frame(3, 9, 300), &mut sink);
+        assert_eq!(sink.0.len(), 2);
+        assert_eq!(table.live_flows(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic() {
+        let run = || {
+            let mut table = StreamFlowTable::new(3, SimDuration::from_secs(5));
+            let mut sink = CollectRecords::default();
+            for i in 0..50u16 {
+                table.add_frame(
+                    SimTime::from_secs(u64::from(i)),
+                    &frame((i % 7) as u8 + 1, 9, 1000 + i % 9),
+                    &mut sink,
+                );
+            }
+            table.finish(&mut sink);
+            sink.0
+                .iter()
+                .map(|r| (r.key, r.packets, r.first_seen))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn timestamp_cap_marks_truncation() {
+        let mut table =
+            StreamFlowTable::new(8, SimDuration::from_secs(3600)).with_timestamp_cap(4);
+        let mut sink = CollectRecords::default();
+        for i in 0..10u64 {
+            table.add_frame(SimTime::from_secs(i), &frame(1, 9, 100), &mut sink);
+        }
+        table.finish(&mut sink);
+        assert_eq!(sink.0.len(), 1);
+        assert_eq!(sink.0[0].packets, 10);
+        assert_eq!(sink.0[0].timestamps.len(), 4);
+        assert!(sink.0[0].timestamps_truncated);
+    }
+}

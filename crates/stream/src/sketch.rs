@@ -1,0 +1,263 @@
+//! Std-only probabilistic sketches for crowd-scale counters.
+//!
+//! Two summaries the streaming engine keeps beside its exact figure
+//! accumulators, for quantities whose exact form is O(cardinality) at crowd
+//! scale:
+//!
+//! * [`CountMin`] — frequency estimation (protocol / port packet counts).
+//!   **Overestimate-only**: for any key, `estimate(key) >= true_count`,
+//!   always; and `estimate(key) <= true_count + (e / width) * N` with
+//!   probability at least `1 - exp(-depth)`, where `N` is the total count
+//!   inserted (Cormode & Muthukrishnan's bound with `w = ceil(e/eps)`,
+//!   `d = ceil(ln(1/delta))`).
+//! * [`Distinct`] — a k-minimum-values (KMV) distinct counter. Keeps the
+//!   `k` smallest 64-bit hashes seen; estimates `|S| ≈ (k-1) / R(k-th min)`
+//!   where `R` normalizes the hash to (0,1]. Relative standard error is
+//!   about `1/sqrt(k-2)` (~4.5% at k=512). Exact below `k` distinct keys.
+//!
+//! Both merge associatively and commutatively (same shape/seed required),
+//! so household shards can be combined in any grouping — the engine merges
+//! them in input order for determinism of the *reported* structures, but
+//! the estimates themselves are order-free.
+//!
+//! Hashing is seeded splitmix64 over the key bytes — deterministic across
+//! runs and platforms, independent of Rust's `Hash`.
+
+/// splitmix64 finalizer: the mixing core of the seeded byte hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Seeded, deterministic 64-bit hash of a byte string.
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut state = splitmix64(seed ^ 0x6a09_e667_f3bc_c909);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        state = splitmix64(state ^ u64::from_le_bytes(word));
+    }
+    // Fold in the length so "a" + "" and "" + "a" style extensions differ.
+    splitmix64(state ^ (bytes.len() as u64))
+}
+
+/// Count-Min sketch: `depth` rows of `width` counters; every insert bumps
+/// one counter per row, estimates take the row-wise minimum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMin {
+    width: usize,
+    seeds: Vec<u64>,
+    rows: Vec<Vec<u64>>,
+    /// Total weight inserted (the `N` of the error bound).
+    total: u64,
+}
+
+impl CountMin {
+    /// `width` counters per row (use ~`ceil(e/eps)` for additive error
+    /// `eps * N`), `depth` independent rows (failure probability
+    /// `exp(-depth)`), derived deterministically from `seed`.
+    pub fn new(width: usize, depth: usize, seed: u64) -> CountMin {
+        assert!(width > 0 && depth > 0);
+        CountMin {
+            width,
+            seeds: (0..depth as u64).map(|i| splitmix64(seed ^ i)).collect(),
+            rows: vec![vec![0; width]; depth],
+            total: 0,
+        }
+    }
+
+    pub fn insert(&mut self, key: &[u8]) {
+        self.insert_weighted(key, 1);
+    }
+
+    pub fn insert_weighted(&mut self, key: &[u8], weight: u64) {
+        for (row, &seed) in self.rows.iter_mut().zip(&self.seeds) {
+            let slot = (hash_bytes(seed, key) % self.width as u64) as usize;
+            row[slot] += weight;
+        }
+        self.total += weight;
+    }
+
+    /// Never under the true count; over by at most `(e/width) * total()`
+    /// with probability `1 - exp(-depth)`.
+    pub fn estimate(&self, key: &[u8]) -> u64 {
+        self.rows
+            .iter()
+            .zip(&self.seeds)
+            .map(|(row, &seed)| row[(hash_bytes(seed, key) % self.width as u64) as usize])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total weight inserted across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Counter-wise addition. Panics if shapes or seeds differ — merging
+    /// sketches built with different parameters is meaningless.
+    pub fn merge(&mut self, other: &CountMin) {
+        assert_eq!(self.width, other.width, "CountMin width mismatch");
+        assert_eq!(self.seeds, other.seeds, "CountMin seed mismatch");
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += *b;
+            }
+        }
+        self.total += other.total;
+    }
+
+    /// Resident bytes, for peak-state accounting.
+    pub fn state_bytes(&self) -> usize {
+        self.rows.len() * self.width * 8 + self.seeds.len() * 8
+    }
+}
+
+/// k-minimum-values distinct counter over 64-bit hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distinct {
+    k: usize,
+    seed: u64,
+    /// The k smallest distinct hashes seen, ascending.
+    minima: Vec<u64>,
+}
+
+impl Distinct {
+    pub fn new(k: usize, seed: u64) -> Distinct {
+        assert!(k >= 3, "KMV needs k >= 3 for a usable estimate");
+        Distinct {
+            k,
+            seed,
+            minima: Vec::new(),
+        }
+    }
+
+    pub fn insert(&mut self, key: &[u8]) {
+        let hash = hash_bytes(self.seed, key);
+        match self.minima.binary_search(&hash) {
+            Ok(_) => {} // already present
+            Err(position) => {
+                if self.minima.len() < self.k {
+                    self.minima.insert(position, hash);
+                } else if position < self.k {
+                    self.minima.insert(position, hash);
+                    self.minima.pop();
+                }
+            }
+        }
+    }
+
+    /// Estimated number of distinct keys inserted. Exact while fewer than
+    /// `k` distinct hashes have been seen; `(k-1) / R(k-th minimum)`
+    /// otherwise, with relative standard error ≈ `1/sqrt(k-2)`.
+    pub fn estimate(&self) -> f64 {
+        if self.minima.len() < self.k {
+            return self.minima.len() as f64;
+        }
+        let kth = *self.minima.last().unwrap();
+        // Normalize to (0, 1]: hash / 2^64, guarding the zero hash.
+        let normalized = (kth as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+        (self.k as f64 - 1.0) / normalized
+    }
+
+    /// Union merge: keep the k smallest of both sides' minima. Associative,
+    /// commutative and idempotent (it is a set union).
+    pub fn merge(&mut self, other: &Distinct) {
+        assert_eq!(self.k, other.k, "KMV k mismatch");
+        assert_eq!(self.seed, other.seed, "KMV seed mismatch");
+        let mut union: Vec<u64> = Vec::with_capacity(self.minima.len() + other.minima.len());
+        union.extend_from_slice(&self.minima);
+        union.extend_from_slice(&other.minima);
+        union.sort_unstable();
+        union.dedup();
+        union.truncate(self.k);
+        self.minima = union;
+    }
+
+    pub fn state_bytes(&self) -> usize {
+        self.k * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_min_never_underestimates() {
+        let mut sketch = CountMin::new(64, 4, 7);
+        for i in 0..500u32 {
+            // Heavily skewed: key 0 gets many inserts.
+            let key = (i % 10).to_le_bytes();
+            sketch.insert(&key);
+        }
+        for key in 0..10u32 {
+            assert!(sketch.estimate(&key.to_le_bytes()) >= 50);
+        }
+        assert_eq!(sketch.total(), 500);
+    }
+
+    #[test]
+    fn count_min_merge_is_sum() {
+        let mut a = CountMin::new(128, 3, 1);
+        let mut b = CountMin::new(128, 3, 1);
+        a.insert_weighted(b"x", 10);
+        b.insert_weighted(b"x", 32);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert!(merged.estimate(b"x") >= 42);
+        assert_eq!(merged.total(), 42);
+    }
+
+    #[test]
+    fn distinct_exact_below_k() {
+        let mut sketch = Distinct::new(64, 3);
+        for i in 0..50u64 {
+            sketch.insert(&i.to_le_bytes());
+            sketch.insert(&i.to_le_bytes()); // duplicates don't count
+        }
+        assert_eq!(sketch.estimate(), 50.0);
+    }
+
+    #[test]
+    fn distinct_estimates_above_k() {
+        let mut sketch = Distinct::new(512, 9);
+        let n = 20_000u64;
+        for i in 0..n {
+            sketch.insert(&i.to_le_bytes());
+        }
+        let estimate = sketch.estimate();
+        let relative = (estimate - n as f64).abs() / n as f64;
+        // 1/sqrt(k-2) ≈ 4.4%; allow 4 sigma.
+        assert!(relative < 0.18, "relative error {relative}");
+    }
+
+    #[test]
+    fn distinct_merge_idempotent_and_commutative() {
+        let mut a = Distinct::new(32, 5);
+        let mut b = Distinct::new(32, 5);
+        for i in 0..100u64 {
+            a.insert(&i.to_le_bytes());
+        }
+        for i in 50..150u64 {
+            b.insert(&i.to_le_bytes());
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut self_merge = a.clone();
+        self_merge.merge(&a);
+        assert_eq!(self_merge, a);
+    }
+
+    #[test]
+    fn hash_is_stable_and_length_aware() {
+        assert_eq!(hash_bytes(1, b"abc"), hash_bytes(1, b"abc"));
+        assert_ne!(hash_bytes(1, b"abc"), hash_bytes(2, b"abc"));
+        assert_ne!(hash_bytes(1, b"a"), hash_bytes(1, b"a\0"));
+    }
+}

@@ -44,46 +44,161 @@ pub fn write_pcap(packets: &[PcapPacket]) -> Vec<u8> {
     out
 }
 
-/// Parse a pcap file image back into packets. Handles both byte orders.
-pub fn read_pcap(data: &[u8]) -> Result<Vec<PcapPacket>> {
-    if data.len() < 24 {
-        return Err(Error::Truncated);
+/// Incremental pcap parser: feed arbitrary byte chunks with [`push`],
+/// drain parsed packets with [`next_packet`], and close the stream with
+/// [`finish`].
+///
+/// The reader never holds the file: consumed bytes are reclaimed as records
+/// complete, so its buffer is bounded by one unparsed record (header bytes
+/// plus the record's `incl_len`). Parsing is resumable across *any* buffer
+/// split — a chunk boundary landing mid-header or mid-record simply makes
+/// [`next_packet`] return `Ok(None)` until more bytes arrive.
+///
+/// Error semantics match [`read_pcap`] exactly (the batch function is a
+/// thin wrapper over this type, so the two parsers cannot diverge):
+///
+/// * [`Error::Malformed`] — bad magic, raised as soon as the 24-byte global
+///   header is complete;
+/// * [`Error::Unsupported`] — a non-Ethernet linktype;
+/// * [`Error::Truncated`] — raised only by [`finish`], when the input ends
+///   mid-header or mid-record. A chunk boundary there is *not* an error.
+///
+/// [`push`]: PcapStreamReader::push
+/// [`next_packet`]: PcapStreamReader::next_packet
+/// [`finish`]: PcapStreamReader::finish
+#[derive(Debug, Default)]
+pub struct PcapStreamReader {
+    buffer: Vec<u8>,
+    /// Bytes of `buffer` already consumed (reclaimed lazily).
+    consumed: usize,
+    /// Set once the 24-byte global header has been parsed.
+    big_endian: Option<bool>,
+    /// A sticky header error: once raised, every later call re-raises it.
+    error: Option<Error>,
+    packets_parsed: u64,
+}
+
+/// Compact the internal buffer once this many consumed bytes accumulate.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl PcapStreamReader {
+    pub fn new() -> PcapStreamReader {
+        PcapStreamReader::default()
     }
-    let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
-    let big_endian = match magic {
-        MAGIC_LE => false,
-        MAGIC_BE => true,
-        _ => return Err(Error::Malformed),
-    };
-    let read_u32 = |bytes: &[u8]| -> u32 {
+
+    /// Append a chunk of the pcap byte stream. Chunks may split headers and
+    /// records anywhere, down to one byte at a time.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buffer.extend_from_slice(chunk);
+    }
+
+    /// Number of packets parsed so far.
+    pub fn packets_parsed(&self) -> u64 {
+        self.packets_parsed
+    }
+
+    /// Bytes currently buffered awaiting a complete header/record — the
+    /// reader's whole memory footprint beyond a few words.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffer.len() - self.consumed
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buffer[self.consumed..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.consumed += n;
+        if self.consumed >= COMPACT_THRESHOLD && self.consumed * 2 >= self.buffer.len() {
+            self.buffer.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+
+    fn read_u32(&self, bytes: &[u8]) -> u32 {
         let array: [u8; 4] = bytes.try_into().unwrap();
-        if big_endian {
+        if self.big_endian == Some(true) {
             u32::from_be_bytes(array)
         } else {
             u32::from_le_bytes(array)
         }
-    };
-    let linktype = read_u32(&data[20..24]);
-    if linktype != LINKTYPE_ETHERNET {
-        return Err(Error::Unsupported);
     }
+
+    /// Parse the next packet, if the buffered bytes complete one.
+    ///
+    /// `Ok(None)` means "need more input" — call [`push`][Self::push] with
+    /// the next chunk, or [`finish`][Self::finish] if the stream is done.
+    pub fn next_packet(&mut self) -> Result<Option<PcapPacket>> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        if self.big_endian.is_none() {
+            if self.buffer.len() - self.consumed < 24 {
+                return Ok(None);
+            }
+            let header = &self.pending()[..24];
+            let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+            let big_endian = match magic {
+                MAGIC_LE => false,
+                MAGIC_BE => true,
+                _ => {
+                    self.error = Some(Error::Malformed);
+                    return Err(Error::Malformed);
+                }
+            };
+            self.big_endian = Some(big_endian);
+            let linktype = self.read_u32(&self.pending()[20..24]);
+            if linktype != LINKTYPE_ETHERNET {
+                self.big_endian = None;
+                self.error = Some(Error::Unsupported);
+                return Err(Error::Unsupported);
+            }
+            self.consume(24);
+        }
+        let pending = &self.buffer[self.consumed..];
+        if pending.len() < 16 {
+            return Ok(None);
+        }
+        let incl_len = self.read_u32(&pending[8..12]) as usize;
+        if pending.len() < 16 + incl_len {
+            return Ok(None);
+        }
+        let packet = PcapPacket {
+            ts_sec: self.read_u32(&pending[0..4]),
+            ts_usec: self.read_u32(&pending[4..8]),
+            data: pending[16..16 + incl_len].to_vec(),
+        };
+        self.consume(16 + incl_len);
+        self.packets_parsed += 1;
+        Ok(Some(packet))
+    }
+
+    /// Declare end-of-input. Errors with [`Error::Truncated`] when the
+    /// stream stopped mid-header or mid-record — the *only* place truncation
+    /// is diagnosed, so chunk boundaries can never masquerade as it.
+    pub fn finish(&self) -> Result<()> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        if self.big_endian.is_none() || self.buffered_bytes() > 0 {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+}
+
+/// Parse a pcap file image back into packets. Handles both byte orders.
+///
+/// A thin wrapper over [`PcapStreamReader`]: the batch and streaming
+/// parsers share one implementation, so they cannot diverge.
+pub fn read_pcap(data: &[u8]) -> Result<Vec<PcapPacket>> {
+    let mut reader = PcapStreamReader::new();
+    reader.push(data);
     let mut packets = Vec::new();
-    let mut pos = 24;
-    while pos < data.len() {
-        let header = data.get(pos..pos + 16).ok_or(Error::Truncated)?;
-        let ts_sec = read_u32(&header[0..4]);
-        let ts_usec = read_u32(&header[4..8]);
-        let incl_len = read_u32(&header[8..12]) as usize;
-        let body = data
-            .get(pos + 16..pos + 16 + incl_len)
-            .ok_or(Error::Truncated)?;
-        packets.push(PcapPacket {
-            ts_sec,
-            ts_usec,
-            data: body.to_vec(),
-        });
-        pos += 16 + incl_len;
+    while let Some(packet) = reader.next_packet()? {
+        packets.push(packet);
     }
+    reader.finish()?;
     Ok(packets)
 }
 
@@ -155,5 +270,103 @@ mod tests {
         let image = write_pcap(&sample_packets());
         assert_eq!(read_pcap(&image[..image.len() - 1]).unwrap_err(), Error::Truncated);
         assert_eq!(read_pcap(&image[..30]).unwrap_err(), Error::Truncated);
+    }
+
+    /// Drive a `PcapStreamReader` over `image` in `chunk`-byte pieces.
+    fn stream_in_chunks(image: &[u8], chunk: usize) -> Result<Vec<PcapPacket>> {
+        let mut reader = PcapStreamReader::new();
+        let mut packets = Vec::new();
+        for piece in image.chunks(chunk.max(1)) {
+            reader.push(piece);
+            while let Some(packet) = reader.next_packet()? {
+                packets.push(packet);
+            }
+        }
+        reader.finish()?;
+        Ok(packets)
+    }
+
+    #[test]
+    fn stream_reader_matches_batch_at_any_chunk_size() {
+        let packets = sample_packets();
+        let image = write_pcap(&packets);
+        for chunk in [1, 2, 3, 7, 16, 24, 25, 4096, image.len()] {
+            assert_eq!(stream_in_chunks(&image, chunk).unwrap(), packets, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn stream_reader_chunk_boundary_is_not_truncation() {
+        let image = write_pcap(&sample_packets());
+        let mut reader = PcapStreamReader::new();
+        // Stop mid-record: more input may still arrive, so no error yet.
+        reader.push(&image[..30]);
+        assert_eq!(reader.next_packet().unwrap(), None);
+        // Only finish() diagnoses truncation.
+        assert_eq!(reader.finish().unwrap_err(), Error::Truncated);
+        // …and feeding the rest recovers completely.
+        reader.push(&image[30..]);
+        assert!(reader.next_packet().unwrap().is_some());
+        assert!(reader.next_packet().unwrap().is_some());
+        assert_eq!(reader.next_packet().unwrap(), None);
+        reader.finish().unwrap();
+        assert_eq!(reader.packets_parsed(), 2);
+    }
+
+    #[test]
+    fn stream_reader_errors_are_sticky() {
+        let mut image = write_pcap(&sample_packets());
+        image[0] = 0;
+        let mut reader = PcapStreamReader::new();
+        reader.push(&image);
+        assert_eq!(reader.next_packet().unwrap_err(), Error::Malformed);
+        assert_eq!(reader.next_packet().unwrap_err(), Error::Malformed);
+        assert_eq!(reader.finish().unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn stream_reader_rejects_non_ethernet_linktype() {
+        let mut image = write_pcap(&sample_packets());
+        image[20..24].copy_from_slice(&113u32.to_le_bytes()); // LINKTYPE_LINUX_SLL
+        let mut reader = PcapStreamReader::new();
+        // One byte at a time: the error must fire exactly when the 24-byte
+        // header completes, regardless of chunking.
+        let mut result = Ok(None);
+        for (fed, byte) in image.iter().enumerate() {
+            reader.push(&[*byte]);
+            result = reader.next_packet();
+            if fed + 1 < 24 {
+                assert_eq!(result, Ok(None), "no verdict before header completes");
+            } else {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn stream_reader_reclaims_consumed_bytes() {
+        // Feed many records; the buffer must stay bounded by one record,
+        // not grow with the stream.
+        let packet = PcapPacket {
+            ts_sec: 1,
+            ts_usec: 2,
+            data: vec![0xab; 1024],
+        };
+        let record = &write_pcap(&[packet])[24..];
+        let mut reader = PcapStreamReader::new();
+        reader.push(&write_pcap(&[])); // global header only
+        for _ in 0..256 {
+            reader.push(record);
+            while let Some(_packet) = reader.next_packet().unwrap() {}
+            assert_eq!(reader.buffered_bytes(), 0);
+            assert!(
+                reader.buffer.len() <= 2 * COMPACT_THRESHOLD,
+                "buffer grew to {}",
+                reader.buffer.len()
+            );
+        }
+        assert_eq!(reader.packets_parsed(), 256);
+        reader.finish().unwrap();
     }
 }

@@ -9,10 +9,16 @@
 # 2. full test suite (unit + property + integration), serial
 #    (IOTLAN_THREADS=1) and parallel (IOTLAN_THREADS=4) — the pool promises
 #    bit-identical artifacts at any worker count, so both must pass
-# 3. bench smoke: perf_wire in --quick mode must emit machine-readable
+# 3. paper-scale integration tests: the suites marked #[ignore] (too slow
+#    for the default tier-1 wall clock) run here explicitly
+# 4. streaming equivalence: tests/stream_equivalence.rs pinned to 1 and 4
+#    worker threads — the stream engine must match batch at both
+# 5. bench smoke: perf_wire in --quick mode must emit machine-readable
 #    {"type":"bench",...} JSON lines via the in-tree harness
-# 4. sweep smoke: perf_sweep in --quick mode must emit its
+# 6. sweep smoke: perf_sweep in --quick mode must emit its
 #    {"type":"speedup",...} serial-vs-parallel comparison lines
+# 7. stream smoke: perf_stream in --quick mode must emit its
+#    {"type":"throughput",...} packet-rate / peak-state lines
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,6 +31,15 @@ IOTLAN_THREADS=1 cargo test -q --offline
 
 echo "==> cargo test -q --offline --workspace (IOTLAN_THREADS=4)"
 IOTLAN_THREADS=4 cargo test -q --offline --workspace
+
+echo "==> paper-scale suites (cargo test -- --ignored)"
+IOTLAN_THREADS=4 cargo test -q --offline -- --ignored
+
+echo "==> streaming equivalence (IOTLAN_THREADS=1)"
+IOTLAN_THREADS=1 cargo test -q --offline --test stream_equivalence
+
+echo "==> streaming equivalence (IOTLAN_THREADS=4)"
+IOTLAN_THREADS=4 cargo test -q --offline --test stream_equivalence
 
 echo "==> bench smoke: perf_wire --quick"
 bench_out=$(cargo bench -p iotlan-bench --bench perf_wire --offline -- --quick)
@@ -39,6 +54,14 @@ sweep_out=$(cargo bench -p iotlan-bench --bench perf_sweep --offline -- --quick)
 printf '%s\n' "$sweep_out"
 if ! printf '%s\n' "$sweep_out" | grep -q '^{"type":"speedup"'; then
     echo "verify: FAIL — perf_sweep emitted no speedup JSON lines" >&2
+    exit 1
+fi
+
+echo "==> stream smoke: perf_stream --quick"
+stream_out=$(cargo bench -p iotlan-bench --bench perf_stream --offline -- --quick)
+printf '%s\n' "$stream_out"
+if ! printf '%s\n' "$stream_out" | grep -q '^{"type":"throughput"'; then
+    echo "verify: FAIL — perf_stream emitted no throughput JSON lines" >&2
     exit 1
 fi
 

@@ -105,6 +105,7 @@ fn sweep_pcaps_are_thread_count_invariant() {
 }
 
 #[test]
+#[ignore = "runs the full report stack at three thread counts; run via scripts/verify.sh"]
 fn full_report_pipeline_is_thread_count_invariant() {
     // The determinism suite's report stack, compared across worker counts
     // rather than across runs: dataset-backed Table 2 plus the

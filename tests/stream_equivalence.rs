@@ -1,0 +1,251 @@
+//! Streaming/batch equivalence: the single-pass `iotlan-stream` engine
+//! must reproduce the batch pipeline's figure and table outputs exactly —
+//! on a real `Lab` capture, at any pcap chunk size (down to one byte), and
+//! at any `IOTLAN_THREADS` setting for the sharded paths — plus property
+//! suites for the probabilistic sketches' documented guarantees.
+
+use iotlan::classify::FlowTable;
+use iotlan::devices::Catalog;
+use iotlan::netsim::{Capture, SimDuration};
+use iotlan::stream::engine::{stream_capture, stream_captures_sharded, stream_pcaps_sharded};
+use iotlan::stream::sketch::{CountMin, Distinct};
+use iotlan::stream::{StreamEngine, StreamReport};
+use iotlan::{Lab, LabConfig};
+use iotlan_util::pool;
+
+/// A small but real lab run: 93 devices idling plus scripted interactions.
+/// Built once and shared — the capture is read-only reference data.
+fn lab_capture() -> &'static (Capture, Catalog) {
+    static LAB: std::sync::OnceLock<(Capture, Catalog)> = std::sync::OnceLock::new();
+    LAB.get_or_init(|| {
+        let mut lab = Lab::new(LabConfig {
+            seed: 21,
+            idle_duration: SimDuration::from_mins(2),
+            interactions: 10,
+            with_honeypot: true,
+        });
+        lab.run_idle();
+        lab.run_interactions(SimDuration::from_secs(30));
+        (lab.network.capture.clone(), lab.catalog)
+    })
+}
+
+/// The batch pipeline's rendered artifacts for `capture`.
+fn batch_renders(capture: &Capture, catalog: &Catalog) -> (String, String, String) {
+    let table = FlowTable::from_capture(capture);
+    (
+        iotlan::analysis::graph::build_graph(&table, catalog).render(),
+        iotlan::analysis::prevalence::passive_prevalence(&table, catalog).render(),
+        iotlan::analysis::responses::render(&iotlan::analysis::responses::discovery_responses(
+            &table, catalog,
+        )),
+    )
+}
+
+/// The streaming report's rendered artifacts, through the same batch
+/// analysis code paths.
+fn report_renders(report: &StreamReport, catalog: &Catalog) -> (String, String, String) {
+    (
+        report.graph(catalog).render(),
+        report.prevalence(catalog).render(),
+        iotlan::analysis::responses::render(&report.discovery_response_rows(catalog)),
+    )
+}
+
+#[test]
+fn lab_capture_streams_identically_at_every_chunk_size() {
+    let (capture, catalog) = lab_capture();
+    let batch = batch_renders(&capture, &catalog);
+    let batch_table = FlowTable::from_capture(&capture);
+    let batch_periodicity = iotlan::analysis::periodicity::analyze_periodicity(&batch_table);
+
+    // Direct frame-fed path first.
+    let report = stream_capture(&capture, &catalog);
+    assert_eq!(report.packets, capture.len() as u64);
+    assert_eq!(report_renders(&report, &catalog), batch);
+    assert!(report.periodicity_exact, "lab-scale keys must stay under EVENT_CAP");
+    let streamed_periodicity = report.periodicity();
+    assert_eq!(
+        streamed_periodicity.groups.len(),
+        batch_periodicity.groups.len()
+    );
+    for (s, b) in streamed_periodicity
+        .groups
+        .iter()
+        .zip(&batch_periodicity.groups)
+    {
+        assert_eq!(s.key, b.key);
+        assert_eq!(s.events, b.events);
+        assert_eq!(s.periodic, b.periodic);
+        assert_eq!(s.period_secs, b.period_secs);
+    }
+
+    // Then the incremental pcap path at 1 B, 4 KiB and whole-file chunks.
+    let image = capture.to_pcap();
+    for chunk_size in [1usize, 4096, image.len()] {
+        let mut engine = StreamEngine::new(&catalog);
+        for chunk in image.chunks(chunk_size) {
+            engine.push_pcap_chunk(chunk).unwrap();
+        }
+        let report = engine.finish().unwrap();
+        assert_eq!(report.packets, capture.len() as u64, "chunk {chunk_size}");
+        assert_eq!(report_renders(&report, &catalog), batch, "chunk {chunk_size}");
+    }
+}
+
+#[test]
+fn sharded_streaming_is_thread_count_invariant() {
+    let (capture, catalog) = lab_capture();
+    let batch = batch_renders(&capture, &catalog);
+
+    // A single shard is the whole capture: the pooled path must reproduce
+    // the batch artifacts exactly at every worker count.
+    let whole = vec![capture.clone()];
+    for threads in [1usize, 4] {
+        let report = pool::with_threads(threads, || stream_captures_sharded(&whole, &catalog));
+        assert_eq!(
+            report_renders(&report, &catalog),
+            batch,
+            "IOTLAN_THREADS={threads}"
+        );
+    }
+
+    // Multi-shard merges (three contiguous slices of the record stream)
+    // must be a pure function of the shard list, never the worker count —
+    // compare full reports, sketches included, across thread counts.
+    let frames = capture.frames();
+    let third = frames.len() / 3;
+    let shards: Vec<Capture> = [
+        &frames[..third],
+        &frames[third..2 * third],
+        &frames[2 * third..],
+    ]
+    .iter()
+    .map(|part| {
+        Capture::from_frames(
+            part.iter()
+                .map(|f| (f.time, f.data.clone()))
+                .collect(),
+        )
+    })
+    .collect();
+    let images: Vec<Vec<u8>> = shards.iter().map(|s| s.to_pcap()).collect();
+    let summarize = |report: &StreamReport| {
+        (
+            report.packets,
+            report.flow_keys,
+            report_renders(report, &catalog),
+            report.peer_pairs.estimate().to_bits(),
+            report.port_packets.total(),
+        )
+    };
+    let reference = summarize(&pool::with_threads(1, || {
+        stream_captures_sharded(&shards, &catalog)
+    }));
+    for threads in [1usize, 4] {
+        let frame_fed =
+            pool::with_threads(threads, || stream_captures_sharded(&shards, &catalog));
+        assert_eq!(summarize(&frame_fed), reference, "IOTLAN_THREADS={threads}");
+        let pcap_fed = pool::with_threads(threads, || {
+            stream_pcaps_sharded(&images, 4096, &catalog).unwrap()
+        });
+        assert_eq!(summarize(&pcap_fed), reference, "pcap IOTLAN_THREADS={threads}");
+    }
+}
+
+iotlan_util::props! {
+    /// Count-Min never underestimates any key's true count, and the total
+    /// is tracked exactly.
+    fn count_min_overestimates_only(g) {
+        let width = g.int_in(8usize..=256);
+        let depth = g.int_in(1usize..=5);
+        let mut sketch = CountMin::new(width, depth, g.u64());
+        let mut exact: std::collections::HashMap<Vec<u8>, u64> =
+            std::collections::HashMap::new();
+        let base = g.u64();
+        let inserts = g.vec_of(1, 200, |g| {
+            // Keys drawn from a small pool so collisions and repeats occur.
+            let key = (base ^ g.int_in(0u64..=24)).to_le_bytes().to_vec();
+            let weight = g.int_in(1u64..=1000);
+            (key, weight)
+        });
+        for (key, weight) in &inserts {
+            sketch.insert_weighted(key, *weight);
+            *exact.entry(key.clone()).or_default() += *weight;
+        }
+        for (key, &count) in &exact {
+            assert!(
+                sketch.estimate(key) >= count,
+                "estimate {} under true count {count}",
+                sketch.estimate(key)
+            );
+        }
+        assert_eq!(sketch.total(), exact.values().sum::<u64>());
+    }
+
+    /// KMV is exact below k distinct keys and within its documented
+    /// relative standard error (1/sqrt(k-2)) above it.
+    fn distinct_counter_within_documented_error(g) {
+        let k = 256usize;
+        let mut sketch = Distinct::new(k, g.u64());
+        let base = g.u64();
+        let n = g.int_in(1u64..=20_000);
+        for i in 0..n {
+            let key = (base.wrapping_add(i)).to_le_bytes();
+            sketch.insert(&key);
+            sketch.insert(&key); // duplicates never count
+        }
+        let estimate = sketch.estimate();
+        if (n as usize) < k {
+            assert_eq!(estimate, n as f64, "must be exact below k");
+        } else {
+            let rse = 1.0 / ((k as f64) - 2.0).sqrt();
+            let relative = (estimate - n as f64).abs() / n as f64;
+            assert!(
+                relative < 6.0 * rse,
+                "relative error {relative} exceeds 6x documented RSE {rse}"
+            );
+        }
+    }
+
+    /// Sketch merges are associative (and, for KMV, commutative): shard
+    /// grouping can never change a merged estimate.
+    fn sketch_merges_are_associative(g) {
+        let seed = g.u64();
+        let width = g.int_in(8usize..=64);
+        let depth = g.int_in(1usize..=4);
+        let mut cms: Vec<CountMin> =
+            (0..3).map(|_| CountMin::new(width, depth, seed)).collect();
+        let mut kmvs: Vec<Distinct> = (0..3).map(|_| Distinct::new(8, seed)).collect();
+        for sketch_index in 0..3 {
+            let items = g.vec_of(0, 60, |g| g.int_in(0u64..=40));
+            for item in items {
+                cms[sketch_index].insert(&item.to_le_bytes());
+                kmvs[sketch_index].insert(&item.to_le_bytes());
+            }
+        }
+        // ((a + b) + c) == (a + (b + c)), as full-state equality.
+        let mut cm_left = cms[0].clone();
+        cm_left.merge(&cms[1]);
+        cm_left.merge(&cms[2]);
+        let mut cm_bc = cms[1].clone();
+        cm_bc.merge(&cms[2]);
+        let mut cm_right = cms[0].clone();
+        cm_right.merge(&cm_bc);
+        assert_eq!(cm_left, cm_right);
+
+        let mut kmv_left = kmvs[0].clone();
+        kmv_left.merge(&kmvs[1]);
+        kmv_left.merge(&kmvs[2]);
+        let mut kmv_bc = kmvs[1].clone();
+        kmv_bc.merge(&kmvs[2]);
+        let mut kmv_right = kmvs[0].clone();
+        kmv_right.merge(&kmv_bc);
+        assert_eq!(kmv_left, kmv_right);
+        let mut kmv_swapped = kmvs[1].clone();
+        kmv_swapped.merge(&kmvs[0]);
+        let mut kmv_ordered = kmvs[0].clone();
+        kmv_ordered.merge(&kmvs[1]);
+        assert_eq!(kmv_ordered, kmv_swapped, "KMV union must commute");
+    }
+}
