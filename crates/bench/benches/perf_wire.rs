@@ -1,9 +1,46 @@
 //! Performance: wire-format parse/emit throughput.
+//!
+//! Besides the `{"type":"bench",…}` medians, emits `{"type":"throughput",…}`
+//! JSON lines with absolute parse rates (messages and bytes per second) for
+//! the trajectory recorded by `scripts/bench_perf.sh`.
 
-use iotlan_util::bench::{Criterion, Throughput};
 use iotlan_core::wire::{dns, ssdp, tplink};
+use iotlan_util::bench::{Criterion, Throughput};
+use iotlan_util::json;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds over `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn emit_throughput(id: &str, messages: usize, bytes: usize, elapsed_ns: f64) {
+    let secs = (elapsed_ns / 1e9).max(1e-9);
+    let mut line = json::Map::new();
+    line.insert("type".into(), json::Value::from("throughput"));
+    line.insert("id".into(), json::Value::from(id));
+    line.insert("messages".into(), json::Value::from(messages as u64));
+    line.insert(
+        "messages_per_sec".into(),
+        json::Value::from(messages as f64 / secs),
+    );
+    line.insert(
+        "bytes_per_sec".into(),
+        json::Value::from(bytes as f64 / secs),
+    );
+    println!("{}", json::Value::Object(line));
+}
 
 fn bench(c: &mut Criterion) {
+    let quick = std::env::args().any(|arg| arg == "--quick");
     let mdns_response = dns::Message::mdns_response(vec![
         dns::Record {
             name: "_hue._tcp.local".into(),
@@ -42,6 +79,27 @@ fn bench(c: &mut Criterion) {
         b.iter(|| tplink::Message::from_udp_bytes(&shp_bytes).unwrap())
     });
     group.finish();
+
+    // Machine-readable throughput lines for the bench trajectory.
+    let messages = if quick { 2_000 } else { 20_000 };
+    let reps = if quick { 3 } else { 5 };
+    let mdns_ns = median_ns(reps, || {
+        for _ in 0..messages {
+            std::hint::black_box(dns::Message::parse(&mdns_bytes).unwrap());
+        }
+    });
+    emit_throughput("mdns_parse", messages, messages * mdns_bytes.len(), mdns_ns);
+    let shp_ns = median_ns(reps, || {
+        for _ in 0..messages {
+            std::hint::black_box(tplink::Message::from_udp_bytes(&shp_bytes).unwrap());
+        }
+    });
+    emit_throughput(
+        "tplink_decrypt_parse",
+        messages,
+        messages * shp_bytes.len(),
+        shp_ns,
+    );
 }
 
 iotlan_util::bench_main!(bench);

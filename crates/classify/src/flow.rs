@@ -224,7 +224,7 @@ impl FlowTable {
     pub fn from_capture(capture: &Capture) -> FlowTable {
         let mut table = FlowTable::default();
         for frame in capture.frames() {
-            table.add_frame(frame.time, &frame.data);
+            table.add_frame(frame.time, frame.data());
         }
         table
     }

@@ -97,10 +97,9 @@ pub fn filter_capture(
 ) -> Vec<(usize, KeepReason)> {
     capture
         .frames()
-        .iter()
         .enumerate()
         .filter_map(|(index, frame)| {
-            classify_frame(&frame.data, subnet).map(|reason| (index, reason))
+            classify_frame(frame.data(), subnet).map(|reason| (index, reason))
         })
         .collect()
 }

@@ -489,10 +489,8 @@ mod tests {
             runs.iter().map(|r| r.frame_count).sum::<usize>()
         );
         // Time-sorted.
-        assert!(merged
-            .frames()
-            .windows(2)
-            .all(|pair| pair[0].time <= pair[1].time));
+        let times: Vec<_> = merged.frames().map(|f| f.time).collect();
+        assert!(times.windows(2).all(|pair| pair[0] <= pair[1]));
     }
 
     #[test]

@@ -1303,8 +1303,8 @@ mod tests {
         assert!(device.mdns_responses_sent > 0, "Hue should answer queries");
         // The capture must contain an mDNS response bearing the MAC-derived
         // instance name.
-        let found = network.capture.frames().iter().any(|f| {
-            stack::dissect(&f.data).is_some_and(|d| match d.content {
+        let found = network.capture.frames().any(|f| {
+            stack::dissect(f.data()).is_some_and(|d| match d.content {
                 Content::UdpV4 { dport: 5353, payload, .. } => {
                     dns::Message::parse(payload).is_ok_and(|m| {
                         m.is_response
@@ -1339,9 +1339,9 @@ mod tests {
         let device = network.node(hue).as_any().downcast_ref::<Device>().unwrap();
         assert!(device.ssdp_responses_sent > 0);
         // Response is unicast back to the scanner and contains the UUID.
-        let found = network.capture.frames().iter().any(|f| {
+        let found = network.capture.frames().any(|f| {
             f.dst_mac() == scanner.mac
-                && stack::dissect(&f.data).is_some_and(|d| match d.content {
+                && stack::dissect(f.data()).is_some_and(|d| match d.content {
                     Content::UdpV4 { payload, .. } => {
                         String::from_utf8_lossy(payload).contains("2f402f80-da50")
                     }
@@ -1385,7 +1385,7 @@ mod tests {
         let hue_mac = EthernetAddress([0x00, 0x17, 0x88, 0x68, 0x5f, 0x61]);
         assert!(network.capture.sent_by(hue_mac).iter().all(|f| {
             !matches!(
-                stack::dissect(&f.data).map(|d| d.content),
+                stack::dissect(f.data()).map(|d| d.content),
                 Some(Content::Arp(arp::Repr {
                     operation: arp::Operation::Reply,
                     ..
@@ -1407,7 +1407,7 @@ mod tests {
         network.run_for(SimDuration::from_secs(1));
         let replied = network.capture.sent_by(hue_mac).iter().any(|f| {
             matches!(
-                stack::dissect(&f.data).map(|d| d.content),
+                stack::dissect(f.data()).map(|d| d.content),
                 Some(Content::Arp(arp::Repr {
                     operation: arp::Operation::Reply,
                     ..
@@ -1456,7 +1456,7 @@ mod tests {
         let mut saw_syn_ack = false;
         let mut saw_rst = false;
         for f in network.capture.sent_by(target.mac) {
-            if let Some(Content::TcpV4 { repr, .. }) = stack::dissect(&f.data).map(|d| d.content) {
+            if let Some(Content::TcpV4 { repr, .. }) = stack::dissect(f.data()).map(|d| d.content) {
                 if repr.flags.contains(tcp::Flags::SYN | tcp::Flags::ACK) {
                     saw_syn_ack = true;
                 }
@@ -1479,7 +1479,7 @@ mod tests {
         let mut saw_xid = false;
         let mut saw_dhcpv6 = false;
         for frame in network.capture.sent_by(mac) {
-            let view = iotlan_wire::ethernet::Frame::new_unchecked(&frame.data[..]);
+            let view = iotlan_wire::ethernet::Frame::new_unchecked(frame.data());
             if let EtherType::Unknown(len) = view.ethertype() {
                 if len < 0x600 {
                     let pdu = iotlan_wire::llc::LlcFrame::parse(&view.payload()[..len as usize])
@@ -1489,7 +1489,7 @@ mod tests {
                 }
             }
             if let Some(Content::UdpV6 { dport: 547, payload, .. }) =
-                stack::dissect(&frame.data).map(|d| d.content)
+                stack::dissect(frame.data()).map(|d| d.content)
             {
                 let solicit = iotlan_wire::dhcpv6::Repr::parse(payload).unwrap();
                 assert_eq!(
@@ -1523,7 +1523,7 @@ mod tests {
             .iter()
             .filter(|f| {
                 matches!(
-                    stack::dissect(&f.data).map(|d| d.content),
+                    stack::dissect(f.data()).map(|d| d.content),
                     Some(Content::IcmpV4 {
                         repr: icmpv4::Repr {
                             message: icmpv4::Message::EchoRequest { .. },
@@ -1542,7 +1542,7 @@ mod tests {
             .iter()
             .filter(|f| {
                 matches!(
-                    stack::dissect(&f.data).map(|d| d.content),
+                    stack::dissect(f.data()).map(|d| d.content),
                     Some(Content::IcmpV4 {
                         repr: icmpv4::Repr {
                             message: icmpv4::Message::EchoReply { .. },

@@ -454,8 +454,8 @@ impl CanaryTracker {
     /// Scan a raw capture for canary bytes.
     pub fn scan_capture(&self, capture: &iotlan_netsim::Capture) -> Vec<Propagation> {
         let mut out = Vec::new();
-        for (index, frame) in capture.frames().iter().enumerate() {
-            let text = String::from_utf8_lossy(&frame.data);
+        for (index, frame) in capture.frames().enumerate() {
+            let text = String::from_utf8_lossy(frame.data());
             out.extend(self.scan_text(&format!("frame#{index}"), &text));
         }
         out

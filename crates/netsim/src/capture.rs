@@ -1,33 +1,103 @@
 //! The AP capture tap.
 //!
-//! The MonIoTr AP "captures all network tra�c utilizing tcpdump … stored in
-//! separate �les for each MAC address" (§3.1). [`Capture`] is that tap: it
-//! records every frame crossing the medium with its timestamp and offers
-//! per-MAC views and pcap export.
+//! The MonIoTr AP "captures all network traffic utilizing tcpdump ... stored
+//! in separate files for each MAC address" (section 3.1). [`Capture`] is that
+//! tap: it records every frame crossing the medium with its timestamp and
+//! offers per-MAC views and pcap export.
+//!
+//! Frames are stored in a **byte arena**: one contiguous `Vec<u8>` holding
+//! every frame back to back, plus a parallel index of
+//! `(SimTime, offset, len)` records. Recording a frame is a bump append —
+//! amortized zero allocations — instead of one `Vec` per frame, and the
+//! whole capture is two allocations no matter how many frames it holds.
+//! Consumers see frames through the borrowed [`FrameRef`] view, which keeps
+//! the `src_mac`/`dst_mac` accessors of the old owning frame type.
 
 use crate::time::SimTime;
 use iotlan_wire::ethernet::{EthernetAddress, Frame};
-use iotlan_wire::pcap::{write_pcap, PcapPacket};
+use iotlan_wire::pcap::write_pcap_refs;
 
-/// One frame seen at the AP.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CapturedFrame {
-    pub time: SimTime,
-    pub data: Vec<u8>,
+/// Index record for one frame in the arena: 16 bytes per frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrameMeta {
+    time: SimTime,
+    offset: u32,
+    len: u32,
 }
 
-impl CapturedFrame {
+/// Per-frame bookkeeping overhead of the capture arena, in bytes — the
+/// size of the index record stored alongside the frame bytes. Exposed so
+/// accounting code (e.g. the streaming engine's `streamed_bytes`) can model
+/// what an in-memory capture of a frame stream would occupy.
+pub const FRAME_OVERHEAD: usize = std::mem::size_of::<FrameMeta>();
+
+/// A borrowed view of one frame seen at the AP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    pub time: SimTime,
+    data: &'a [u8],
+}
+
+impl<'a> FrameRef<'a> {
+    /// The raw frame bytes.
+    pub fn data(&self) -> &'a [u8] {
+        self.data
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
     /// Source MAC (frames shorter than an Ethernet header never enter the
     /// capture, so this cannot fail).
     pub fn src_mac(&self) -> EthernetAddress {
-        Frame::new_unchecked(&self.data[..]).src_addr()
+        Frame::new_unchecked(self.data).src_addr()
     }
 
     /// Destination MAC.
     pub fn dst_mac(&self) -> EthernetAddress {
-        Frame::new_unchecked(&self.data[..]).dst_addr()
+        Frame::new_unchecked(self.data).dst_addr()
     }
 }
+
+/// Iterator over the frames of a [`Capture`], yielding [`FrameRef`] views.
+#[derive(Debug, Clone)]
+pub struct Frames<'a> {
+    arena: &'a [u8],
+    metas: std::slice::Iter<'a, FrameMeta>,
+}
+
+impl<'a> Iterator for Frames<'a> {
+    type Item = FrameRef<'a>;
+
+    fn next(&mut self) -> Option<FrameRef<'a>> {
+        let meta = self.metas.next()?;
+        Some(FrameRef {
+            time: meta.time,
+            data: &self.arena[meta.offset as usize..(meta.offset + meta.len) as usize],
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.metas.size_hint()
+    }
+}
+
+impl<'a> DoubleEndedIterator for Frames<'a> {
+    fn next_back(&mut self) -> Option<FrameRef<'a>> {
+        let meta = self.metas.next_back()?;
+        Some(FrameRef {
+            time: meta.time,
+            data: &self.arena[meta.offset as usize..(meta.offset + meta.len) as usize],
+        })
+    }
+}
+
+impl<'a> ExactSizeIterator for Frames<'a> {}
 
 /// A consumer of captured frames, fed one at a time in record order.
 ///
@@ -41,10 +111,13 @@ pub trait FrameSink {
     fn on_frame(&mut self, time: SimTime, data: &[u8]);
 }
 
-/// The full promiscuous capture at the AP.
+/// The full promiscuous capture at the AP, arena-backed.
 #[derive(Debug, Default, Clone)]
 pub struct Capture {
-    frames: Vec<CapturedFrame>,
+    /// Every frame's bytes, back to back in record order.
+    arena: Vec<u8>,
+    /// One index record per frame, in record order.
+    metas: Vec<FrameMeta>,
 }
 
 impl Capture {
@@ -52,10 +125,24 @@ impl Capture {
         Capture::default()
     }
 
-    pub(crate) fn record(&mut self, time: SimTime, data: &[u8]) {
-        self.frames.push(CapturedFrame {
+    /// Pre-size the capture for `frames` frames totalling `bytes` frame
+    /// bytes. Recording within the reserved capacity performs no
+    /// allocations at all (the allocation-regression test relies on this
+    /// to pin the per-frame cost of the hot path).
+    pub fn reserve(&mut self, frames: usize, bytes: usize) {
+        self.metas.reserve(frames);
+        self.arena.reserve(bytes);
+    }
+
+    /// Record one frame at `time`: a bump append into the arena. Within
+    /// reserved capacity this performs no allocations.
+    pub fn record(&mut self, time: SimTime, data: &[u8]) {
+        let offset = self.arena.len() as u32;
+        self.arena.extend_from_slice(data);
+        self.metas.push(FrameMeta {
             time,
-            data: data.to_vec(),
+            offset,
+            len: data.len() as u32,
         });
     }
 
@@ -63,43 +150,68 @@ impl Capture {
     /// (which should be record order). For replay tooling and tests that
     /// need a capture without running a simulation.
     pub fn from_frames(frames: Vec<(SimTime, Vec<u8>)>) -> Capture {
-        Capture {
-            frames: frames
-                .into_iter()
-                .map(|(time, data)| CapturedFrame { time, data })
-                .collect(),
+        let mut capture = Capture::new();
+        capture.reserve(frames.len(), frames.iter().map(|(_, d)| d.len()).sum());
+        for (time, data) in &frames {
+            capture.record(*time, data);
+        }
+        capture
+    }
+
+    /// Iterate over all captured frames, in record order.
+    pub fn frames(&self) -> Frames<'_> {
+        Frames {
+            arena: &self.arena,
+            metas: self.metas.iter(),
         }
     }
 
-    /// All captured frames, in time order.
-    pub fn frames(&self) -> &[CapturedFrame] {
-        &self.frames
+    /// Iterate over the frames recorded at index `start` and later — the
+    /// borrowed replacement for slicing an owned frame list (`[before..]`).
+    pub fn frames_from(&self, start: usize) -> Frames<'_> {
+        Frames {
+            arena: &self.arena,
+            metas: self.metas[start.min(self.metas.len())..].iter(),
+        }
+    }
+
+    /// The `index`-th recorded frame.
+    pub fn frame(&self, index: usize) -> FrameRef<'_> {
+        let meta = self.metas[index];
+        FrameRef {
+            time: meta.time,
+            data: &self.arena[meta.offset as usize..(meta.offset + meta.len) as usize],
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.frames.len()
+        self.metas.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.frames.is_empty()
+        self.metas.is_empty()
     }
 
-    /// The per-MAC split of §3.1: frames sent *or* received by `mac`.
-    pub fn for_mac(&self, mac: EthernetAddress) -> Vec<&CapturedFrame> {
-        self.frames
-            .iter()
+    /// Total frame bytes held in the arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The per-MAC split of section 3.1: frames sent *or* received by `mac`.
+    pub fn for_mac(&self, mac: EthernetAddress) -> Vec<FrameRef<'_>> {
+        self.frames()
             .filter(|f| f.src_mac() == mac || f.dst_mac() == mac)
             .collect()
     }
 
     /// Frames *sent* by `mac` only.
-    pub fn sent_by(&self, mac: EthernetAddress) -> Vec<&CapturedFrame> {
-        self.frames.iter().filter(|f| f.src_mac() == mac).collect()
+    pub fn sent_by(&self, mac: EthernetAddress) -> Vec<FrameRef<'_>> {
+        self.frames().filter(|f| f.src_mac() == mac).collect()
     }
 
     /// All distinct source MACs seen.
     pub fn source_macs(&self) -> Vec<EthernetAddress> {
-        let mut macs: Vec<EthernetAddress> = self.frames.iter().map(|f| f.src_mac()).collect();
+        let mut macs: Vec<EthernetAddress> = self.frames().map(|f| f.src_mac()).collect();
         macs.sort();
         macs.dedup();
         macs
@@ -111,20 +223,36 @@ impl Capture {
     /// stable, so the merge is a pure function of the inputs — parallel
     /// sweeps that collect parts in seed order get byte-identical merged
     /// pcaps at any thread count.
+    ///
+    /// Both the merged arena and its index are sized up front: the merge
+    /// costs two allocations and copies each frame's bytes exactly once.
     pub fn merge(parts: &[Capture]) -> Capture {
-        let mut frames: Vec<CapturedFrame> = parts
+        // Sort (part, frame) indices by time; the sort is stable so input
+        // order breaks ties exactly as the old owned-frame merge did.
+        let mut order: Vec<(usize, usize)> = parts
             .iter()
-            .flat_map(|part| part.frames.iter().cloned())
+            .enumerate()
+            .flat_map(|(p, part)| (0..part.metas.len()).map(move |i| (p, i)))
             .collect();
-        frames.sort_by_key(|frame| frame.time);
-        Capture { frames }
+        order.sort_by_key(|&(p, i)| parts[p].metas[i].time);
+
+        let mut merged = Capture::new();
+        merged.reserve(
+            order.len(),
+            parts.iter().map(|part| part.arena.len()).sum(),
+        );
+        for &(p, i) in &order {
+            let frame = parts[p].frame(i);
+            merged.record(frame.time, frame.data());
+        }
+        merged
     }
 
     /// Replay every recorded frame into `sink`, in record order, without
     /// consuming the capture.
     pub fn stream_into(&self, sink: &mut impl FrameSink) {
-        for frame in &self.frames {
-            sink.on_frame(frame.time, &frame.data);
+        for frame in self.frames() {
+            sink.on_frame(frame.time, frame.data());
         }
     }
 
@@ -132,11 +260,14 @@ impl Capture {
     ///
     /// This is the bounded-memory tap: a driver that runs the simulation in
     /// windows and drains between them never holds more than one window of
-    /// frames, no matter how long the run.
+    /// frames, no matter how long the run. The arena's capacity is kept, so
+    /// steady-state windowed runs record and drain without allocating.
     pub fn drain_into(&mut self, sink: &mut impl FrameSink) {
-        for frame in self.frames.drain(..) {
-            sink.on_frame(frame.time, &frame.data);
+        for frame in self.frames() {
+            sink.on_frame(frame.time, frame.data());
         }
+        self.arena.clear();
+        self.metas.clear();
     }
 
     /// Export the whole capture as a pcap file image.
@@ -149,21 +280,18 @@ impl Capture {
         self.to_pcap_filtered(|f| f.src_mac() == mac || f.dst_mac() == mac)
     }
 
-    fn to_pcap_filtered(&self, keep: impl Fn(&CapturedFrame) -> bool) -> Vec<u8> {
-        let packets: Vec<PcapPacket> = self
-            .frames
-            .iter()
+    /// Serialize straight from arena slices: the only per-frame work is the
+    /// one copy into the pre-sized output buffer — no owned intermediates.
+    fn to_pcap_filtered(&self, keep: impl Fn(&FrameRef<'_>) -> bool) -> Vec<u8> {
+        let records: Vec<(u32, u32, &[u8])> = self
+            .frames()
             .filter(|f| keep(f))
             .map(|f| {
                 let (ts_sec, ts_usec) = f.time.split();
-                PcapPacket {
-                    ts_sec,
-                    ts_usec,
-                    data: f.data.clone(),
-                }
+                (ts_sec, ts_usec, f.data())
             })
             .collect();
-        write_pcap(&packets)
+        write_pcap_refs(&records)
     }
 }
 
@@ -210,7 +338,7 @@ mod tests {
         assert_eq!(packets.len(), 2);
         assert_eq!(packets[0].ts_sec, 1);
         assert_eq!(packets[1].ts_usec, 500_000);
-        assert_eq!(packets[0].data, capture.frames()[0].data);
+        assert_eq!(packets[0].data, capture.frame(0).data());
     }
 
     #[test]
@@ -224,10 +352,10 @@ mod tests {
         let merged = Capture::merge(&[a.clone(), b.clone()]);
         assert_eq!(merged.len(), 4);
         // Time order, with the t=1 tie keeping part 0's frame first.
-        assert_eq!(merged.frames()[0].data, a.frames()[0].data);
-        assert_eq!(merged.frames()[1].data, b.frames()[0].data);
-        assert_eq!(merged.frames()[2].data, b.frames()[1].data);
-        assert_eq!(merged.frames()[3].data, a.frames()[1].data);
+        assert_eq!(merged.frame(0).data(), a.frame(0).data());
+        assert_eq!(merged.frame(1).data(), b.frame(0).data());
+        assert_eq!(merged.frame(2).data(), b.frame(1).data());
+        assert_eq!(merged.frame(3).data(), a.frame(1).data());
         // Pure function of the inputs.
         assert_eq!(
             Capture::merge(&[a.clone(), b.clone()]).to_pcap(),
@@ -254,6 +382,11 @@ mod tests {
         capture.drain_into(&mut drained);
         assert_eq!(drained.0, seen.0, "drain replays the same frames");
         assert!(capture.is_empty(), "drain_into empties the buffer");
+        // The arena keeps its capacity: recording after a drain reuses it.
+        let bytes_capacity = capture.arena.capacity();
+        capture.record(SimTime::from_secs(3), &frame(1, 2));
+        assert_eq!(capture.arena.capacity(), bytes_capacity);
+        assert_eq!(capture.frame(0).time, SimTime::from_secs(3));
     }
 
     #[test]
@@ -264,5 +397,34 @@ mod tests {
         let mac1 = EthernetAddress([2, 0, 0, 0, 0, 1]);
         let packets = read_pcap(&capture.to_pcap_for_mac(mac1)).unwrap();
         assert_eq!(packets.len(), 1);
+    }
+
+    #[test]
+    fn frames_from_skips_prefix() {
+        let mut capture = Capture::new();
+        capture.record(SimTime::from_secs(1), &frame(1, 2));
+        capture.record(SimTime::from_secs(2), &frame(2, 1));
+        capture.record(SimTime::from_secs(3), &frame(3, 4));
+        let tail: Vec<SimTime> = capture.frames_from(1).map(|f| f.time).collect();
+        assert_eq!(tail, vec![SimTime::from_secs(2), SimTime::from_secs(3)]);
+        assert_eq!(capture.frames_from(5).count(), 0, "past-the-end is empty");
+    }
+
+    #[test]
+    fn record_within_reserve_does_not_move_arena() {
+        let mut capture = Capture::new();
+        let frames: Vec<Vec<u8>> = (0..8).map(|i| frame(i, (i + 1) % 8)).collect();
+        capture.reserve(frames.len(), frames.iter().map(Vec::len).sum());
+        let arena_capacity = capture.arena.capacity();
+        let metas_capacity = capture.metas.capacity();
+        for (i, data) in frames.iter().enumerate() {
+            capture.record(SimTime::from_secs(i as u64), data);
+        }
+        assert_eq!(capture.arena.capacity(), arena_capacity);
+        assert_eq!(capture.metas.capacity(), metas_capacity);
+        assert_eq!(capture.len(), 8);
+        for (i, data) in frames.iter().enumerate() {
+            assert_eq!(capture.frame(i).data(), &data[..]);
+        }
     }
 }

@@ -18,9 +18,18 @@ pub struct FaultInjector {
 }
 
 /// The injector's verdict for one frame.
+///
+/// Borrow-or-own: the common case — the frame passes through untouched —
+/// is [`Verdict::Deliver`], which carries no bytes at all (the caller
+/// already holds them). Only when the injector actually rewrote the frame
+/// does it allocate and return the modified copy in
+/// [`Verdict::DeliverOwned`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
-    Deliver(Vec<u8>),
+    /// Deliver the frame unmodified; the caller's bytes are authoritative.
+    Deliver,
+    /// Deliver this rewritten copy instead of the original bytes.
+    DeliverOwned(Vec<u8>),
     Drop,
 }
 
@@ -47,6 +56,11 @@ impl FaultInjector {
     }
 
     /// Apply the configured faults to one frame.
+    ///
+    /// RNG draw order is part of the determinism contract: one `gen_bool`
+    /// per configured chance, in drop-then-corrupt order, exactly as
+    /// before the borrow-or-own rework — so seeded runs keep producing
+    /// byte-identical captures.
     pub fn apply(&mut self, frame: &[u8]) -> Verdict {
         if let Some(limit) = self.size_limit {
             if frame.len() > limit {
@@ -58,17 +72,18 @@ impl FaultInjector {
             self.dropped += 1;
             return Verdict::Drop;
         }
-        let mut data = frame.to_vec();
         if self.corrupt_chance > 0.0 && self.rng.gen_bool(self.corrupt_chance.min(1.0)) {
-            if !data.is_empty() {
-                let index = self.rng.gen_range(0..data.len());
+            if !frame.is_empty() {
+                let index = self.rng.gen_range(0..frame.len());
                 // Flip a random nonzero pattern so the byte always changes.
                 let mask = self.rng.gen_range(1..=255u8);
+                let mut data = frame.to_vec();
                 data[index] ^= mask;
                 self.corrupted += 1;
+                return Verdict::DeliverOwned(data);
             }
         }
-        Verdict::Deliver(data)
+        Verdict::Deliver
     }
 
     /// Frames dropped so far.
@@ -90,7 +105,7 @@ mod tests {
     fn passthrough_by_default() {
         let mut injector = FaultInjector::none();
         let frame = vec![1, 2, 3];
-        assert_eq!(injector.apply(&frame), Verdict::Deliver(frame));
+        assert_eq!(injector.apply(&frame), Verdict::Deliver);
         assert_eq!(injector.dropped(), 0);
     }
 
@@ -108,20 +123,30 @@ mod tests {
         let mut injector = FaultInjector::new(0.0, 1.0, None, 7);
         let frame = vec![0u8; 64];
         match injector.apply(&frame) {
-            Verdict::Deliver(data) => {
+            Verdict::DeliverOwned(data) => {
                 let diffs = data.iter().zip(&frame).filter(|(a, b)| a != b).count();
                 assert_eq!(diffs, 1);
             }
-            Verdict::Drop => panic!("should deliver"),
+            verdict => panic!("should deliver a rewritten copy, got {verdict:?}"),
         }
         assert_eq!(injector.corrupted(), 1);
+    }
+
+    #[test]
+    fn untouched_frames_are_not_copied() {
+        // With both chances at zero the verdict must be the borrow
+        // variant: no allocation on the clean path.
+        let mut injector = FaultInjector::none();
+        for len in [0usize, 1, 64, 1500] {
+            assert_eq!(injector.apply(&vec![0xabu8; len]), Verdict::Deliver);
+        }
     }
 
     #[test]
     fn size_limit_enforced() {
         let mut injector = FaultInjector::new(0.0, 0.0, Some(10), 0);
         assert_eq!(injector.apply(&[0u8; 11]), Verdict::Drop);
-        assert!(matches!(injector.apply(&[0u8; 10]), Verdict::Deliver(_)));
+        assert_eq!(injector.apply(&[0u8; 10]), Verdict::Deliver);
     }
 
     #[test]

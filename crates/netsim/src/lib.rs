@@ -26,7 +26,7 @@ pub mod router;
 pub mod stack;
 pub mod time;
 
-pub use capture::{Capture, CapturedFrame, FrameSink};
+pub use capture::{Capture, FrameRef, FrameSink, FRAME_OVERHEAD};
 pub use fault::FaultInjector;
 pub use network::{Context, Network, Node, NodeId};
 pub use time::{SimDuration, SimTime};

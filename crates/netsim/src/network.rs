@@ -266,16 +266,21 @@ impl Network {
                     // ones the medium then drops (smoltcp convention).
                     let tx_time = self.now + delay;
                     self.capture.record(tx_time, &frame);
-                    match self.faults.apply(&frame) {
-                        Verdict::Deliver(data) => {
-                            self.seq += 1;
-                            self.queue.push(Event {
-                                time: tx_time + MEDIUM_DELAY,
-                                seq: self.seq,
-                                kind: EventKind::Deliver { frame: data },
-                            });
-                        }
-                        Verdict::Drop => {}
+                    // Borrow-or-own: on the clean path the sender's buffer
+                    // is moved into the delivery event unchanged; only a
+                    // rewritten frame costs a fresh allocation.
+                    let delivered = match self.faults.apply(&frame) {
+                        Verdict::Deliver => Some(frame),
+                        Verdict::DeliverOwned(data) => Some(data),
+                        Verdict::Drop => None,
+                    };
+                    if let Some(data) = delivered {
+                        self.seq += 1;
+                        self.queue.push(Event {
+                            time: tx_time + MEDIUM_DELAY,
+                            seq: self.seq,
+                            kind: EventKind::Deliver { frame: data },
+                        });
                     }
                 }
                 Action::Timer { delay, token } => {
@@ -294,11 +299,13 @@ impl Network {
         let dst = view.dst_addr();
         let src = view.src_addr();
         if dst.is_multicast() {
-            // Broadcast medium: everyone but the sender hears it.
-            let ids: Vec<NodeId> = (0..self.nodes.len())
-                .filter(|&id| self.nodes[id].mac() != src)
-                .collect();
-            for id in ids {
+            // Broadcast medium: everyone but the sender hears it. The node
+            // list is snapshotted by length so delivery allocates nothing.
+            let count = self.nodes.len();
+            for id in 0..count {
+                if self.nodes[id].mac() == src {
+                    continue;
+                }
                 self.dispatch(id, |node, ctx| node.on_frame(ctx, &frame));
             }
         } else if let Some(&id) = self.by_mac.get(&dst) {

@@ -3,7 +3,7 @@
 //!
 //! Device models keep statically planned IPs (the lab assigns leases
 //! deterministically), but the DHCP exchange still happens on the wire so
-//! the capture contains the DISCOVER/OFFER/REQUEST/ACK tra�c — and the
+//! the capture contains the DISCOVER/OFFER/REQUEST/ACK traffic — and the
 //! hostname/vendor-class leaks — that §5.1 analyzes.
 
 use crate::network::{Context, Node};
@@ -406,10 +406,9 @@ mod tests {
         let reply = network
             .capture
             .frames()
-            .iter()
             .find(|f| f.src_mac() == GATEWAY_MAC)
             .expect("router replied");
-        let view = Frame::new_unchecked(&reply.data[..]);
+        let view = Frame::new_unchecked(reply.data());
         assert_eq!(view.dst_addr(), asker);
     }
 
@@ -443,10 +442,9 @@ mod tests {
         let reply = network
             .capture
             .frames()
-            .iter()
             .find(|f| f.src_mac() == GATEWAY_MAC)
             .expect("dns reply");
-        let dissected = stack::dissect(&reply.data).unwrap();
+        let dissected = stack::dissect(reply.data()).unwrap();
         match dissected.content {
             stack::Content::UdpV4 { payload, dport, .. } => {
                 assert_eq!(dport, 40000);
@@ -480,10 +478,9 @@ mod tests {
         let reply = network
             .capture
             .frames()
-            .iter()
             .find(|f| f.src_mac() == GATEWAY_MAC)
             .expect("echo reply");
-        match stack::dissect(&reply.data).unwrap().content {
+        match stack::dissect(reply.data()).unwrap().content {
             stack::Content::IcmpV4 { repr, .. } => {
                 assert_eq!(
                     repr.message,

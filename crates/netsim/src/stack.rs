@@ -2,7 +2,13 @@
 //! Ethernet/IP/transport stack with valid checksums, and take the layers
 //! apart again on receive. Every device model, honeypot, scanner and app in
 //! the workspace builds its traffic through these.
+//!
+//! All builders route through [`iotlan_wire::compose`]: the total frame
+//! length is computed from the layer `Repr`s, a single buffer is allocated,
+//! and every header is emitted in place — one allocation and one payload
+//! copy per frame, instead of one of each per layer.
 
+use iotlan_wire::compose;
 use iotlan_wire::ethernet::{self, EtherType, EthernetAddress};
 use iotlan_wire::ipv4::{self, Protocol};
 use iotlan_wire::{arp, icmpv4, icmpv6, igmp, ipv6, tcp, udp};
@@ -29,33 +35,26 @@ pub struct Endpoint {
 
 /// Build `eth(ipv4(udp(payload)))` between unicast endpoints.
 pub fn udp_unicast(src: Endpoint, dst: Endpoint, sport: u16, dport: u16, payload: &[u8]) -> Vec<u8> {
-    let datagram = udp::build_datagram_v4(
-        &udp::Repr {
-            src_port: sport,
-            dst_port: dport,
-            payload_len: payload.len(),
-        },
-        src.ip,
-        dst.ip,
-        payload,
-    );
-    let packet = ipv4::build_packet(
-        &ipv4::Repr {
-            src_addr: src.ip,
-            dst_addr: dst.ip,
-            protocol: Protocol::Udp,
-            ttl: 64,
-            payload_len: datagram.len(),
-        },
-        &datagram,
-    );
-    ethernet::build_frame(
+    let udp_repr = udp::Repr {
+        src_port: sport,
+        dst_port: dport,
+        payload_len: payload.len(),
+    };
+    compose::eth_ipv4_udp(
         &ethernet::Repr {
             src_addr: src.mac,
             dst_addr: dst.mac,
             ethertype: EtherType::Ipv4,
         },
-        &packet,
+        &ipv4::Repr {
+            src_addr: src.ip,
+            dst_addr: dst.ip,
+            protocol: Protocol::Udp,
+            ttl: 64,
+            payload_len: udp_repr.buffer_len(),
+        },
+        &udp_repr,
+        payload,
     )
 }
 
@@ -103,24 +102,21 @@ pub fn udp_subnet_broadcast(src: Endpoint, bcast_ip: Ipv4Addr, sport: u16, dport
 
 /// Build `eth(ipv4(tcp(payload)))` between unicast endpoints.
 pub fn tcp_segment(src: Endpoint, dst: Endpoint, repr: &tcp::Repr, payload: &[u8]) -> Vec<u8> {
-    let segment = tcp::build_segment_v4(repr, src.ip, dst.ip, payload);
-    let packet = ipv4::build_packet(
-        &ipv4::Repr {
-            src_addr: src.ip,
-            dst_addr: dst.ip,
-            protocol: Protocol::Tcp,
-            ttl: 64,
-            payload_len: segment.len(),
-        },
-        &segment,
-    );
-    ethernet::build_frame(
+    compose::eth_ipv4_tcp(
         &ethernet::Repr {
             src_addr: src.mac,
             dst_addr: dst.mac,
             ethertype: EtherType::Ipv4,
         },
-        &packet,
+        &ipv4::Repr {
+            src_addr: src.ip,
+            dst_addr: dst.ip,
+            protocol: Protocol::Tcp,
+            ttl: 64,
+            payload_len: repr.buffer_len(),
+        },
+        repr,
+        payload,
     )
 }
 
@@ -130,59 +126,52 @@ pub fn arp_frame(repr: &arp::Repr) -> Vec<u8> {
         arp::Operation::Request => EthernetAddress::BROADCAST,
         _ => repr.target_hardware_addr,
     };
-    ethernet::build_frame(
+    compose::eth_arp(
         &ethernet::Repr {
             src_addr: repr.sender_hardware_addr,
             dst_addr: dst,
             ethertype: EtherType::Arp,
         },
-        &repr.to_bytes(),
+        repr,
     )
 }
 
 /// Build an ICMPv4 frame.
 pub fn icmpv4_frame(src: Endpoint, dst: Endpoint, repr: &icmpv4::Repr, payload: &[u8]) -> Vec<u8> {
-    let icmp = icmpv4::build_packet(repr, payload);
-    let packet = ipv4::build_packet(
-        &ipv4::Repr {
-            src_addr: src.ip,
-            dst_addr: dst.ip,
-            protocol: Protocol::Icmp,
-            ttl: 64,
-            payload_len: icmp.len(),
-        },
-        &icmp,
-    );
-    ethernet::build_frame(
+    compose::eth_ipv4_icmp(
         &ethernet::Repr {
             src_addr: src.mac,
             dst_addr: dst.mac,
             ethertype: EtherType::Ipv4,
         },
-        &packet,
+        &ipv4::Repr {
+            src_addr: src.ip,
+            dst_addr: dst.ip,
+            protocol: Protocol::Icmp,
+            ttl: 64,
+            payload_len: repr.buffer_len(),
+        },
+        repr,
+        payload,
     )
 }
 
 /// Build an IGMP frame to `group` (IGMP rides directly on IPv4, TTL 1).
 pub fn igmp_frame(src: Endpoint, group: Ipv4Addr, repr: &igmp::Repr) -> Vec<u8> {
-    let body = repr.to_bytes();
-    let packet = ipv4::build_packet(
-        &ipv4::Repr {
-            src_addr: src.ip,
-            dst_addr: group,
-            protocol: Protocol::Igmp,
-            ttl: 1,
-            payload_len: body.len(),
-        },
-        &body,
-    );
-    ethernet::build_frame(
+    compose::eth_ipv4_igmp(
         &ethernet::Repr {
             src_addr: src.mac,
             dst_addr: multicast_mac_v4(group),
             ethertype: EtherType::Ipv4,
         },
-        &packet,
+        &ipv4::Repr {
+            src_addr: src.ip,
+            dst_addr: group,
+            protocol: Protocol::Igmp,
+            ttl: 1,
+            payload_len: repr.buffer_len(),
+        },
+        repr,
     )
 }
 
@@ -193,17 +182,6 @@ pub fn icmpv6_frame(
     dst_ip: Ipv6Addr,
     repr: &icmpv6::Repr,
 ) -> Vec<u8> {
-    let body = repr.to_bytes(src_ip, dst_ip);
-    let packet = ipv6::build_packet(
-        &ipv6::Repr {
-            src_addr: src_ip,
-            dst_addr: dst_ip,
-            next_header: Protocol::Ipv6Icmp,
-            hop_limit: 255,
-            payload_len: body.len(),
-        },
-        &body,
-    );
     let dst_mac = if ipv6::is_multicast(dst_ip) {
         multicast_mac_v6(dst_ip)
     } else {
@@ -213,14 +191,7 @@ pub fn icmpv6_frame(
         // `icmpv6_frame_to`.
         multicast_mac_v6(dst_ip)
     };
-    ethernet::build_frame(
-        &ethernet::Repr {
-            src_addr: src_mac,
-            dst_addr: dst_mac,
-            ethertype: EtherType::Ipv6,
-        },
-        &packet,
-    )
+    icmpv6_frame_to(src_mac, dst_mac, src_ip, dst_ip, repr)
 }
 
 /// Build a unicast ICMPv6 frame to a known MAC.
@@ -231,24 +202,20 @@ pub fn icmpv6_frame_to(
     dst_ip: Ipv6Addr,
     repr: &icmpv6::Repr,
 ) -> Vec<u8> {
-    let body = repr.to_bytes(src_ip, dst_ip);
-    let packet = ipv6::build_packet(
-        &ipv6::Repr {
-            src_addr: src_ip,
-            dst_addr: dst_ip,
-            next_header: Protocol::Ipv6Icmp,
-            hop_limit: 255,
-            payload_len: body.len(),
-        },
-        &body,
-    );
-    ethernet::build_frame(
+    compose::eth_ipv6_icmpv6(
         &ethernet::Repr {
             src_addr: src_mac,
             dst_addr: dst_mac,
             ethertype: EtherType::Ipv6,
         },
-        &packet,
+        &ipv6::Repr {
+            src_addr: src_ip,
+            dst_addr: dst_ip,
+            next_header: Protocol::Ipv6Icmp,
+            hop_limit: 255,
+            payload_len: repr.buffer_len(),
+        },
+        repr,
     )
 }
 
@@ -261,33 +228,26 @@ pub fn udp_multicast_v6(
     dport: u16,
     payload: &[u8],
 ) -> Vec<u8> {
-    let datagram = udp::build_datagram_v6(
-        &udp::Repr {
-            src_port: sport,
-            dst_port: dport,
-            payload_len: payload.len(),
-        },
-        src_ip,
-        group,
-        payload,
-    );
-    let packet = ipv6::build_packet(
-        &ipv6::Repr {
-            src_addr: src_ip,
-            dst_addr: group,
-            next_header: Protocol::Udp,
-            hop_limit: 255,
-            payload_len: datagram.len(),
-        },
-        &datagram,
-    );
-    ethernet::build_frame(
+    let udp_repr = udp::Repr {
+        src_port: sport,
+        dst_port: dport,
+        payload_len: payload.len(),
+    };
+    compose::eth_ipv6_udp(
         &ethernet::Repr {
             src_addr: src_mac,
             dst_addr: multicast_mac_v6(group),
             ethertype: EtherType::Ipv6,
         },
-        &packet,
+        &ipv6::Repr {
+            src_addr: src_ip,
+            dst_addr: group,
+            next_header: Protocol::Udp,
+            hop_limit: 255,
+            payload_len: udp_repr.buffer_len(),
+        },
+        &udp_repr,
+        payload,
     )
 }
 

@@ -172,11 +172,11 @@ pub fn probe_tcp_wire(
     let before = network.capture.len();
     network.inject_frame(stack::tcp_segment(scanner, target, &syn, &[]));
     network.run_for(SimDuration::from_millis(500));
-    for frame in &network.capture.frames()[before..] {
+    for frame in network.capture.frames_from(before) {
         if frame.src_mac() != target.mac {
             continue;
         }
-        if let Some(Content::TcpV4 { repr, .. }) = stack::dissect(&frame.data).map(|d| d.content) {
+        if let Some(Content::TcpV4 { repr, .. }) = stack::dissect(frame.data()).map(|d| d.content) {
             if repr.src_port == port && repr.dst_port == probe_sport {
                 if repr.flags.contains(tcp::Flags::SYN | tcp::Flags::ACK) {
                     return PortState::Open;
@@ -197,11 +197,11 @@ pub fn probe_udp_wire(network: &mut Network, target: Endpoint, port: u16) -> boo
     let before = network.capture.len();
     network.inject_frame(stack::udp_unicast(scanner, target, 47001, port, &[0u8; 8]));
     network.run_for(SimDuration::from_millis(500));
-    network.capture.frames()[before..].iter().any(|frame| {
+    network.capture.frames_from(before).any(|frame| {
         if frame.src_mac() != target.mac {
             return false;
         }
-        match stack::dissect(&frame.data).map(|d| d.content) {
+        match stack::dissect(frame.data()).map(|d| d.content) {
             Some(Content::UdpV4 { sport, .. }) => sport == port,
             Some(Content::IcmpV4 {
                 repr:

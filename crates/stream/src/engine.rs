@@ -50,7 +50,7 @@ use iotlan_analysis::responses::{
 use iotlan_classify::flow::{dissect_frame, Flow, FlowKey, FrameEvidence, Transport};
 use iotlan_classify::rules::{classify_with_rules, paper_rules, Rule};
 use iotlan_devices::Catalog;
-use iotlan_netsim::{Capture, CapturedFrame, FrameSink, SimDuration, SimTime};
+use iotlan_netsim::{Capture, FrameSink, SimDuration, SimTime, FRAME_OVERHEAD};
 use iotlan_util::pool;
 use iotlan_wire::ethernet::EthernetAddress;
 use iotlan_wire::pcap::PcapStreamReader;
@@ -407,7 +407,7 @@ impl FrameSink for StreamEngine {
     fn on_frame(&mut self, time: SimTime, data: &[u8]) {
         self.packets += 1;
         self.bytes += data.len() as u64;
-        self.streamed_bytes += (std::mem::size_of::<CapturedFrame>() + data.len()) as u64;
+        self.streamed_bytes += (FRAME_OVERHEAD + data.len()) as u64;
 
         let secs = time.as_secs_f64();
         if secs > self.max_stamp_secs {

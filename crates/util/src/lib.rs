@@ -25,7 +25,12 @@
 //! scoped threads, static chunking, per-chunk RNG streams and ordered
 //! reduction, so `IOTLAN_THREADS=1` and `=N` produce bit-identical
 //! artifacts.
+//!
+//! [`alloc`] is a counting global allocator for tests and benches only:
+//! allocation-regression tests install it to pin exact allocation budgets
+//! on perf-critical paths (e.g. the one-allocation frame pipeline).
 
+pub mod alloc;
 pub mod bench;
 pub mod check;
 pub mod json;

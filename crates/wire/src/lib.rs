@@ -24,6 +24,7 @@
 pub mod arp;
 pub mod checksum;
 pub mod coap;
+pub mod compose;
 pub mod dhcpv4;
 pub mod dhcpv6;
 pub mod dns;

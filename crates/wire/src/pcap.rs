@@ -24,9 +24,7 @@ pub struct PcapPacket {
     pub data: Vec<u8>,
 }
 
-/// Serialize packets into a pcap file image.
-pub fn write_pcap(packets: &[PcapPacket]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(24 + packets.iter().map(|p| 16 + p.data.len()).sum::<usize>());
+fn append_global_header(out: &mut Vec<u8>) {
     out.extend_from_slice(&MAGIC_LE.to_le_bytes());
     out.extend_from_slice(&VERSION_MAJOR.to_le_bytes());
     out.extend_from_slice(&VERSION_MINOR.to_le_bytes());
@@ -34,12 +32,44 @@ pub fn write_pcap(packets: &[PcapPacket]) -> Vec<u8> {
     out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
     out.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
     out.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+}
+
+fn append_record(out: &mut Vec<u8>, ts_sec: u32, ts_usec: u32, data: &[u8]) {
+    out.extend_from_slice(&ts_sec.to_le_bytes());
+    out.extend_from_slice(&ts_usec.to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes()); // incl_len
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes()); // orig_len
+    out.extend_from_slice(data);
+}
+
+/// Serialize packets into a pcap file image.
+pub fn write_pcap(packets: &[PcapPacket]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + packets.iter().map(|p| 16 + p.data.len()).sum::<usize>());
+    append_global_header(&mut out);
     for packet in packets {
-        out.extend_from_slice(&packet.ts_sec.to_le_bytes());
-        out.extend_from_slice(&packet.ts_usec.to_le_bytes());
-        out.extend_from_slice(&(packet.data.len() as u32).to_le_bytes()); // incl_len
-        out.extend_from_slice(&(packet.data.len() as u32).to_le_bytes()); // orig_len
-        out.extend_from_slice(&packet.data);
+        append_record(&mut out, packet.ts_sec, packet.ts_usec, &packet.data);
+    }
+    out
+}
+
+/// Serialize `(ts_sec, ts_usec, frame)` records into a pcap file image
+/// without taking ownership of any frame bytes.
+///
+/// The borrowing twin of [`write_pcap`]: the output buffer is sized up
+/// front and each frame is copied exactly once — a capture holding its
+/// frames in an arena (or any caller with frames in place) exports without
+/// first cloning every frame into a [`PcapPacket`]. The two writers share
+/// the header/record appenders, so their byte output cannot diverge.
+pub fn write_pcap_refs(packets: &[(u32, u32, &[u8])]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        24 + packets
+            .iter()
+            .map(|(_, _, data)| 16 + data.len())
+            .sum::<usize>(),
+    );
+    append_global_header(&mut out);
+    for &(ts_sec, ts_usec, data) in packets {
+        append_record(&mut out, ts_sec, ts_usec, data);
     }
     out
 }
@@ -226,6 +256,17 @@ mod tests {
         let packets = sample_packets();
         let image = write_pcap(&packets);
         assert_eq!(read_pcap(&image).unwrap(), packets);
+    }
+
+    #[test]
+    fn write_pcap_refs_matches_owned_writer() {
+        let packets = sample_packets();
+        let refs: Vec<(u32, u32, &[u8])> = packets
+            .iter()
+            .map(|p| (p.ts_sec, p.ts_usec, p.data.as_slice()))
+            .collect();
+        assert_eq!(write_pcap_refs(&refs), write_pcap(&packets));
+        assert_eq!(write_pcap_refs(&[]), write_pcap(&[]));
     }
 
     #[test]

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Performance-bench trajectory recorder.
+#
+#   ./scripts/bench_perf.sh [--quick]
+#
+# Runs the four perf benches — perf_netsim, perf_stream, perf_wire,
+# perf_frames — and appends every machine-readable
+# {"type":"throughput",...} and {"type":"speedup",...} JSON line they emit
+# to BENCH_perf.json (one JSON object per line, append-only), so the
+# repo carries its own performance trajectory across commits. The
+# per-benchmark {"type":"bench",...} medians are printed but not recorded:
+# the trajectory tracks end-to-end rates, not harness samples.
+#
+# Pass --quick to forward the benches' quick mode (smaller workloads, fewer
+# reps) — used by scripts/verify.sh as a smoke test.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="BENCH_perf.json"
+quick="${1:-}"
+
+run_bench() {
+    name="$1"
+    echo "==> cargo bench -p iotlan-bench --bench $name --offline -- $quick"
+    # shellcheck disable=SC2086  # $quick is intentionally word-split ('' or --quick)
+    bench_out=$(cargo bench -p iotlan-bench --bench "$name" --offline -- $quick)
+    printf '%s\n' "$bench_out"
+    printf '%s\n' "$bench_out" | grep -E '^\{"type":"(throughput|speedup)"' >>"$out" || true
+}
+
+run_bench perf_netsim
+run_bench perf_stream
+run_bench perf_wire
+run_bench perf_frames
+
+lines=$(grep -cE '^\{"type":"(throughput|speedup)"' "$out")
+echo "bench_perf: $out now holds $lines trajectory lines"

@@ -19,6 +19,8 @@
 #    {"type":"speedup",...} serial-vs-parallel comparison lines
 # 7. stream smoke: perf_stream in --quick mode must emit its
 #    {"type":"throughput",...} packet-rate / peak-state lines
+# 8. frame-pipeline smoke: perf_frames in --quick mode must emit its
+#    {"type":"speedup",...} legacy-vs-zero-copy comparison line
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -62,6 +64,14 @@ stream_out=$(cargo bench -p iotlan-bench --bench perf_stream --offline -- --quic
 printf '%s\n' "$stream_out"
 if ! printf '%s\n' "$stream_out" | grep -q '^{"type":"throughput"'; then
     echo "verify: FAIL — perf_stream emitted no throughput JSON lines" >&2
+    exit 1
+fi
+
+echo "==> frame-pipeline smoke: perf_frames --quick"
+frames_out=$(cargo bench -p iotlan-bench --bench perf_frames --offline -- --quick)
+printf '%s\n' "$frames_out"
+if ! printf '%s\n' "$frames_out" | grep -q '^{"type":"speedup"'; then
+    echo "verify: FAIL — perf_frames emitted no speedup JSON lines" >&2
     exit 1
 fi
 

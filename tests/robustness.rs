@@ -70,8 +70,7 @@ fn mangled_capture_never_panics() {
         .network
         .capture
         .frames()
-        .iter()
-        .map(|f| f.data.clone())
+        .map(|f| f.data().to_vec())
         .collect();
     // Deterministic mangling: flip a byte in every 3rd frame, truncate
     // every 5th.

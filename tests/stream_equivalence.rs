@@ -113,22 +113,20 @@ fn sharded_streaming_is_thread_count_invariant() {
     // Multi-shard merges (three contiguous slices of the record stream)
     // must be a pure function of the shard list, never the worker count —
     // compare full reports, sketches included, across thread counts.
-    let frames = capture.frames();
-    let third = frames.len() / 3;
-    let shards: Vec<Capture> = [
-        &frames[..third],
-        &frames[third..2 * third],
-        &frames[2 * third..],
-    ]
-    .iter()
-    .map(|part| {
-        Capture::from_frames(
-            part.iter()
-                .map(|f| (f.time, f.data.clone()))
-                .collect(),
-        )
-    })
-    .collect();
+    let third = capture.len() / 3;
+    let ranges = [(0, third), (third, 2 * third), (2 * third, capture.len())];
+    let shards: Vec<Capture> = ranges
+        .iter()
+        .map(|&(start, end)| {
+            Capture::from_frames(
+                capture
+                    .frames_from(start)
+                    .take(end - start)
+                    .map(|f| (f.time, f.data().to_vec()))
+                    .collect(),
+            )
+        })
+        .collect();
     let images: Vec<Vec<u8>> = shards.iter().map(|s| s.to_pcap()).collect();
     let summarize = |report: &StreamReport| {
         (

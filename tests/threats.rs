@@ -40,9 +40,9 @@ fn unauthenticated_tplink_control() {
     ));
     lab.network.run_for(SimDuration::from_secs(2));
     // The plug obeyed: err_code 0 came back to the attacker.
-    let obeyed = lab.network.capture.frames().iter().any(|frame| {
+    let obeyed = lab.network.capture.frames().any(|frame| {
         frame.src_mac() == plug.mac
-            && match stack::dissect(&frame.data).map(|d| d.content) {
+            && match stack::dissect(frame.data()).map(|d| d.content) {
                 Some(Content::TcpV4 { payload, .. }) if !payload.is_empty() => {
                     tplink::Message::from_tcp_bytes(payload)
                         .map(|m| {

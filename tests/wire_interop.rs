@@ -29,7 +29,7 @@ fn all_emitted_frames_dissect() {
     let lab = lab_capture();
     let mut undissected = 0usize;
     for frame in lab.network.capture.frames() {
-        if iotlan::netsim::stack::dissect(&frame.data).is_none() {
+        if iotlan::netsim::stack::dissect(frame.data()).is_none() {
             // 802.3/LLC frames have no IP layer and dissect to OtherEther…
             // dissect() returns Some(OtherEther) for them, so None means a
             // genuinely broken frame.
