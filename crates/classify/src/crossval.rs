@@ -169,6 +169,9 @@ pub fn cross_validate_folds(table: &FlowTable, k: usize) -> Vec<CrossValidation>
     let fold_size = table.flows.len().div_ceil(k);
     let folds: Vec<&[Flow]> = table.flows.chunks(fold_size.max(1)).collect();
     pool::par_map(&folds, |_, fold| {
+        let _span = iotlan_telemetry::span!("classify.fold");
+        iotlan_telemetry::counter!("classify.folds").incr();
+        iotlan_telemetry::counter!("classify.fold_flows").add(fold.len() as u64);
         let mut tallies = Tallies::default();
         for flow in *fold {
             tallies.add(flow);

@@ -18,9 +18,12 @@ use iotlan_honeypot::Honeypot;
 use iotlan_netsim::router::{Router, GATEWAY_MAC};
 use iotlan_netsim::stack::{self, Endpoint};
 use iotlan_netsim::{FrameSink, Network, NodeId, SimDuration};
+use iotlan_telemetry::Manifest;
 use iotlan_wire::ethernet::EthernetAddress;
 use iotlan_wire::{tcp, tplink};
+use iotlan_util::json;
 use iotlan_util::rng::Rng;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Lab configuration.
@@ -63,6 +66,9 @@ pub struct Lab {
     pub catalog: Catalog,
     pub network: Network,
     pub honeypot_id: Option<NodeId>,
+    /// Run manifest under construction; `run_*` methods append phases and
+    /// [`Lab::finish_manifest`] seals it (DESIGN.md §9).
+    pub manifest: Manifest,
     phone_id: Option<NodeId>,
     interaction_rng: Rng,
 }
@@ -89,6 +95,7 @@ enum Action {
 impl Lab {
     /// Build the full testbed.
     pub fn new(config: LabConfig) -> Lab {
+        let _span = iotlan_telemetry::span!("lab.build");
         let catalog = build_testbed();
         let mut network = Network::new(config.seed);
         network.add_node(Box::new(Router::new()));
@@ -100,20 +107,38 @@ impl Lab {
         } else {
             None
         };
+        let mut manifest = Manifest::new("lab");
+        manifest.set("seed", config.seed);
+        manifest.set("idle_micros", config.idle_duration.as_micros());
+        manifest.set("interactions", u64::from(config.interactions));
+        manifest.set("with_honeypot", config.with_honeypot);
+        manifest.set("nodes", network.node_count() as u64);
         Lab {
             interaction_rng: Rng::seed_from_u64(config.seed ^ 0xfeed),
             config,
             catalog,
             network,
             honeypot_id,
+            manifest,
             phone_id: None,
         }
     }
 
+    /// Close a manifest phase stamped with the network's simulated clock
+    /// (the event loop retracts the thread-local clock on return, so the
+    /// stamp must be re-published for the duration of the bookkeeping).
+    fn finish_sim_phase(&mut self, timer: iotlan_telemetry::manifest::PhaseTimer) {
+        let _scope = iotlan_telemetry::clock::sim_scope(self.network.now().as_micros());
+        self.manifest.finish_phase(timer);
+    }
+
     /// Run the idle capture (§3.1's five-day no-interaction collection).
     pub fn run_idle(&mut self) {
+        let _span = iotlan_telemetry::span!("lab.idle");
+        let timer = self.manifest.phase_timer("idle");
         let duration = self.config.idle_duration;
         self.network.run_for(duration);
+        self.finish_sim_phase(timer);
     }
 
     /// The controllable-action pool, derived purely from the catalog (one
@@ -202,9 +227,12 @@ impl Lab {
     /// Inject scripted interactions: companion-style control commands to
     /// random controllable devices, spaced through `span`.
     pub fn run_interactions(&mut self, span: SimDuration) {
+        let _span = iotlan_telemetry::span!("lab.interactions");
+        let timer = self.manifest.phase_timer("interactions");
         let count = self.config.interactions;
         if count == 0 {
             self.network.run_for(span);
+            self.finish_sim_phase(timer);
             return;
         }
         let step = SimDuration::from_micros(span.as_micros() / u64::from(count).max(1));
@@ -213,6 +241,7 @@ impl Lab {
             self.inject_interaction(index, &actions);
             self.network.run_for(step);
         }
+        self.finish_sim_phase(timer);
     }
 
     /// Run `span` of simulation in `window`-sized slices, draining the AP
@@ -249,11 +278,16 @@ impl Lab {
         window: SimDuration,
         sink: &mut impl FrameSink,
     ) {
+        let _span = iotlan_telemetry::span!("lab.streaming");
         let idle = self.config.idle_duration;
+        let timer = self.manifest.phase_timer("streaming.idle");
         self.run_windowed(idle, window, sink);
+        self.finish_sim_phase(timer);
+        let timer = self.manifest.phase_timer("streaming.interactions");
         let count = self.config.interactions;
         if count == 0 {
             self.run_windowed(interaction_span, window, sink);
+            self.finish_sim_phase(timer);
             return;
         }
         let step = SimDuration::from_micros(interaction_span.as_micros() / u64::from(count).max(1));
@@ -263,6 +297,7 @@ impl Lab {
             self.network.run_for(step);
             self.network.capture.drain_into(sink);
         }
+        self.finish_sim_phase(timer);
     }
 
     /// [`run_streaming`](Lab::run_streaming) into a fresh
@@ -303,8 +338,11 @@ impl Lab {
     /// Run long enough for all `n` deployed apps to finish, then return the
     /// completed runs.
     pub fn run_app_tests(&mut self, app_count: usize) -> Vec<iotlan_apps::TestRun> {
+        let _span = iotlan_telemetry::span!("lab.app_tests");
+        let timer = self.manifest.phase_timer("app_tests");
         let span = Phone::schedule_length(app_count) + SimDuration::from_secs(5);
         self.network.run_for(span);
+        self.finish_sim_phase(timer);
         let Some(id) = self.phone_id else {
             return Vec::new();
         };
@@ -327,6 +365,47 @@ impl Lab {
         iotlan_classify::FlowTable::from_capture(&self.network.capture)
     }
 
+    /// Seal and return this run's manifest: output counts, per-device
+    /// packet counts, a digest of the capture pcap, the global metrics
+    /// snapshot, and host facts. The lab keeps a fresh manifest so it can
+    /// continue running (subsequent phases land in the new one).
+    pub fn finish_manifest(&mut self) -> Manifest {
+        let mut manifest = std::mem::replace(&mut self.manifest, Manifest::new("lab"));
+        manifest.set("frames_captured", self.network.capture.len() as u64);
+        manifest.set(
+            "capture_arena_bytes",
+            self.network.capture.arena_bytes() as u64,
+        );
+        manifest.set("frames_sent", self.network.frames_sent());
+        manifest.set("faults_dropped", self.network.faults.dropped());
+        manifest.set("sim_end_micros", self.network.now().as_micros());
+
+        // Per-device packet counts: one pass over the capture, keyed by
+        // catalog name where the source MAC is a modelled device and by
+        // MAC string otherwise (router, controller, honeypot, phone).
+        let mut by_mac: BTreeMap<EthernetAddress, u64> = BTreeMap::new();
+        for frame in self.network.capture.frames() {
+            *by_mac.entry(frame.src_mac()).or_insert(0) += 1;
+        }
+        let mut by_device = json::Map::new();
+        for (mac, count) in &by_mac {
+            let name = self
+                .catalog
+                .devices
+                .iter()
+                .find(|device| device.mac == *mac)
+                .map(|device| device.name.clone())
+                .unwrap_or_else(|| mac.to_string());
+            by_device.insert(name, json::Value::from(*count));
+        }
+        manifest.set("packets_by_device", json::Value::Object(by_device));
+
+        manifest.digest("capture.pcap", &self.network.capture.to_pcap());
+        manifest.attach_metrics();
+        manifest.attach_host_info();
+        manifest
+    }
+
     /// Run one independent lab per seed — idle capture plus the configured
     /// interaction script — fanned out across the
     /// [`pool`](iotlan_util::pool).
@@ -339,6 +418,8 @@ impl Lab {
     /// drive it.
     pub fn run_sweep(base: &LabConfig, seeds: &[u64]) -> Vec<SweepRun> {
         iotlan_util::pool::par_map(seeds, |_, &seed| {
+            let _span = iotlan_telemetry::span!("lab.sweep_run");
+            iotlan_telemetry::counter!("lab.sweep_runs").incr();
             let mut lab = Lab::new(LabConfig { seed, ..base.clone() });
             lab.run_idle();
             if lab.config.interactions > 0 {
@@ -375,6 +456,49 @@ pub fn merge_sweep_captures(runs: &[SweepRun]) -> iotlan_netsim::Capture {
     let parts: Vec<iotlan_netsim::Capture> =
         runs.iter().map(|run| run.capture.clone()).collect();
     iotlan_netsim::Capture::merge(&parts)
+}
+
+/// Manifest for a completed multi-seed sweep: the base configuration, the
+/// per-seed frame/flow counts in seed order, totals, and a digest over
+/// every run's pcap. Deterministic across thread counts because the sweep
+/// itself is (results come back in seed order).
+pub fn sweep_manifest(base: &LabConfig, runs: &[SweepRun]) -> Manifest {
+    let mut manifest = Manifest::new("sweep");
+    manifest.set("base_seed", base.seed);
+    manifest.set("idle_micros", base.idle_duration.as_micros());
+    manifest.set("interactions", u64::from(base.interactions));
+    manifest.set("runs", runs.len() as u64);
+    manifest.set(
+        "total_frames",
+        runs.iter().map(|run| run.frame_count as u64).sum::<u64>(),
+    );
+    manifest.set(
+        "total_flows",
+        runs.iter().map(|run| run.flow_count as u64).sum::<u64>(),
+    );
+    let per_seed = runs
+        .iter()
+        .map(|run| {
+            let mut row = json::Map::new();
+            row.insert("seed".to_string(), json::Value::from(run.seed));
+            row.insert(
+                "frames".to_string(),
+                json::Value::from(run.frame_count as u64),
+            );
+            row.insert(
+                "flows".to_string(),
+                json::Value::from(run.flow_count as u64),
+            );
+            json::Value::Object(row)
+        })
+        .collect();
+    manifest.set("per_seed", json::Value::Array(per_seed));
+    for run in runs {
+        manifest.digest(&format!("seed_{}.pcap", run.seed), &run.capture.to_pcap());
+    }
+    manifest.attach_metrics();
+    manifest.attach_host_info();
+    manifest
 }
 
 #[cfg(test)]

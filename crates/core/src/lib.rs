@@ -34,4 +34,6 @@ pub use iotlan_inspector as inspector;
 pub use iotlan_netsim as netsim;
 pub use iotlan_scan as scan;
 pub use iotlan_stream as stream;
+pub use iotlan_telemetry as telemetry;
+pub use iotlan_util as util;
 pub use iotlan_wire as wire;

@@ -149,6 +149,7 @@ impl Device {
     // ---- periodic behaviours -------------------------------------------
 
     fn send_dhcp_discover(&mut self, ctx: &mut Context) {
+        iotlan_telemetry::counter!("devices.dhcp_discovers").incr();
         self.hostname_nonce = self.hostname_nonce.wrapping_mul(6364136223846793005).wrapping_add(1);
         let discover = dhcpv4::Repr::discover(
             ctx.rng().gen_u32(),
@@ -271,6 +272,7 @@ impl Device {
     }
 
     fn send_mdns_queries(&mut self, ctx: &mut Context) {
+        iotlan_telemetry::counter!("devices.mdns_queries").incr();
         let Some(mdns) = &self.config.mdns else { return };
         if mdns.query.is_empty() {
             return;
@@ -344,6 +346,7 @@ impl Device {
     }
 
     fn send_mdns_announce(&mut self, ctx: &mut Context) {
+        iotlan_telemetry::counter!("devices.mdns_announces").incr();
         let records = self.mdns_answer_records();
         let Some(mdns) = &self.config.mdns else { return };
         if !mdns.advertise.is_empty() {
@@ -361,6 +364,7 @@ impl Device {
     }
 
     fn send_ssdp_search(&mut self, ctx: &mut Context) {
+        iotlan_telemetry::counter!("devices.ssdp_searches").incr();
         let Some(ssdp_config) = &self.config.ssdp else { return };
         for target in &ssdp_config.search_targets {
             let message = ssdp::Message::msearch(target, 3);
@@ -388,6 +392,7 @@ impl Device {
     }
 
     fn send_ssdp_notify(&mut self, ctx: &mut Context) {
+        iotlan_telemetry::counter!("devices.ssdp_notifies").incr();
         let Some(ssdp_config) = self.config.ssdp.clone() else {
             return;
         };
@@ -413,6 +418,7 @@ impl Device {
     }
 
     fn send_arp_sweep(&mut self, ctx: &mut Context) {
+        iotlan_telemetry::counter!("devices.arp_sweeps").incr();
         let Some(scan) = self.config.arp_scan.clone() else {
             return;
         };
@@ -1015,6 +1021,7 @@ impl Node for Device {
     }
 
     fn on_start(&mut self, ctx: &mut Context) {
+        iotlan_telemetry::counter!("devices.started").incr();
         if self.config.eapol {
             self.send_eapol(ctx);
             self.send_xid_probe(ctx);
@@ -1103,6 +1110,7 @@ impl Node for Device {
     }
 
     fn on_timer(&mut self, ctx: &mut Context, token: u64) {
+        iotlan_telemetry::counter!("devices.timers_fired").incr();
         match token {
             T_MDNS_QUERY => self.send_mdns_queries(ctx),
             T_MDNS_ANNOUNCE => self.send_mdns_announce(ctx),

@@ -80,6 +80,7 @@ impl Honeypot {
         protocol: HoneypotProtocol,
         detail: impl Into<String>,
     ) {
+        iotlan_telemetry::counter!("honeypot.interactions").incr();
         self.interactions.push(Interaction {
             time: ctx.now(),
             src_mac,
@@ -87,6 +88,12 @@ impl Honeypot {
             protocol,
             detail: detail.into(),
         });
+    }
+
+    /// Count one outbound deception reply (SSDP/mDNS response, SYN-ACK,
+    /// HTTP page, telnet banner, ARP reply, ICMP echo reply).
+    fn note_response(&self) {
+        iotlan_telemetry::counter!("honeypot.responses").incr();
     }
 
     /// The UPnP description XML served at the canary LOCATION — the payload
@@ -113,6 +120,57 @@ impl Honeypot {
         macs.sort();
         macs.dedup();
         macs
+    }
+
+    /// Run manifest for a completed honeypot campaign: interaction totals
+    /// per protocol surface, the distinct-scanner census, and a content
+    /// digest of the full interaction log (ordered, so two campaigns match
+    /// iff every interaction matches).
+    pub fn campaign_manifest(&self) -> iotlan_telemetry::Manifest {
+        use std::fmt::Write as _;
+        let mut manifest = iotlan_telemetry::Manifest::new("honeypot_campaign");
+        manifest.set("interactions", self.interactions.len());
+        const SURFACES: [(HoneypotProtocol, &str); 8] = [
+            (HoneypotProtocol::Arp, "arp"),
+            (HoneypotProtocol::Icmp, "icmp"),
+            (HoneypotProtocol::Mdns, "mdns"),
+            (HoneypotProtocol::Ssdp, "ssdp"),
+            (HoneypotProtocol::Http, "http"),
+            (HoneypotProtocol::Telnet, "telnet"),
+            (HoneypotProtocol::TcpProbe, "tcp_probe"),
+            (HoneypotProtocol::UdpProbe, "udp_probe"),
+        ];
+        let mut all_scanners: Vec<EthernetAddress> = Vec::new();
+        for (protocol, name) in SURFACES {
+            let count = self
+                .interactions
+                .iter()
+                .filter(|i| i.protocol == protocol)
+                .count();
+            manifest.set(&format!("interactions.{name}"), count);
+            let scanners = self.scanners(protocol);
+            manifest.set(&format!("scanners.{name}"), scanners.len());
+            all_scanners.extend(scanners);
+        }
+        all_scanners.sort();
+        all_scanners.dedup();
+        manifest.set("scanners", all_scanners.len());
+        let mut log = String::new();
+        for i in &self.interactions {
+            let _ = writeln!(
+                log,
+                "{} {} {:?} {:?} {}",
+                i.time.as_micros(),
+                i.src_mac,
+                i.src_ip,
+                i.protocol,
+                i.detail,
+            );
+        }
+        manifest.digest("interactions.log", log.as_bytes());
+        manifest.attach_metrics();
+        manifest.attach_host_info();
+        manifest
     }
 
     fn handle_udp(
@@ -152,6 +210,7 @@ impl Honeypot {
                         Some(&location),
                         Some("Linux/4.4 UPnP/1.0 CanaryPot/1.0"),
                     );
+                    self.note_response();
                     ctx.send_frame_delayed(
                         SimDuration::from_millis(120),
                         stack::udp_unicast(
@@ -199,6 +258,7 @@ impl Honeypot {
                             ]),
                         },
                     ]);
+                    self.note_response();
                     ctx.send_frame_delayed(
                         SimDuration::from_millis(25),
                         stack::udp_multicast(
@@ -252,6 +312,7 @@ impl Honeypot {
                 0x7000,
                 repr.seq_number.wrapping_add(1),
             );
+            self.note_response();
             ctx.send_frame(stack::tcp_segment(self.endpoint, src, &reply, &[]));
             return;
         }
@@ -285,6 +346,7 @@ impl Honeypot {
                         repr.seq_number.wrapping_add(payload.len() as u32),
                         response.len(),
                     );
+                    self.note_response();
                     ctx.send_frame(stack::tcp_segment(self.endpoint, src, &reply, &response));
                 }
             }
@@ -304,6 +366,7 @@ impl Honeypot {
                     repr.seq_number.wrapping_add(payload.len() as u32),
                     banner.len(),
                 );
+                self.note_response();
                 ctx.send_frame(stack::tcp_segment(self.endpoint, src, &reply, banner));
             }
             _ => {
@@ -347,6 +410,7 @@ impl Node for Honeypot {
                     repr.sender_hardware_addr,
                     repr.sender_protocol_addr,
                 );
+                self.note_response();
                 ctx.send_frame(stack::arp_frame(&reply));
             }
             Content::IcmpV4 {
@@ -372,6 +436,7 @@ impl Node for Honeypot {
                     &reply,
                     &[],
                 );
+                self.note_response();
                 ctx.send_frame(frame);
             }
             Content::UdpV4 {

@@ -137,8 +137,16 @@ impl Capture {
     /// Record one frame at `time`: a bump append into the arena. Within
     /// reserved capacity this performs no allocations.
     pub fn record(&mut self, time: SimTime, data: &[u8]) {
+        // Count arena reallocation (growth past the reserved capacity):
+        // a rising growth counter on a sized workload means a reserve call
+        // is under-estimating.
+        if self.arena.len() + data.len() > self.arena.capacity() {
+            iotlan_telemetry::counter!("netsim.capture.arena_growth").incr();
+        }
         let offset = self.arena.len() as u32;
         self.arena.extend_from_slice(data);
+        iotlan_telemetry::gauge!("netsim.capture.arena_peak_bytes")
+            .set_max(self.arena.len() as i64);
         self.metas.push(FrameMeta {
             time,
             offset,

@@ -213,6 +213,12 @@ impl Network {
 
     /// Run the simulation until `deadline` (inclusive). Events scheduled
     /// beyond the deadline stay queued for a later `run_until`.
+    ///
+    /// While the loop dispatches, the simulated clock is published to
+    /// telemetry on this thread (`iotlan_telemetry::clock`) so spans and
+    /// events recorded from node callbacks carry the simulated stamp; the
+    /// clock is retracted before returning, so a pool worker that ran one
+    /// lab cannot leak a stale stamp into unrelated work.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(event) = self.queue.peek() {
             if event.time > deadline {
@@ -220,6 +226,7 @@ impl Network {
             }
             let event = self.queue.pop().unwrap();
             self.now = event.time;
+            iotlan_telemetry::clock::set_sim_micros(self.now.as_micros());
             match event.kind {
                 EventKind::Start(id) => self.dispatch(id, |node, ctx| node.on_start(ctx)),
                 EventKind::Timer { node, token } => {
@@ -229,6 +236,7 @@ impl Network {
             }
         }
         self.now = deadline;
+        iotlan_telemetry::clock::clear_sim();
     }
 
     /// Run for `span` beyond the current time.
@@ -262,6 +270,9 @@ impl Network {
                         continue;
                     }
                     self.frames_sent += 1;
+                    iotlan_telemetry::counter!("netsim.frames_sent").incr();
+                    iotlan_telemetry::histogram!("netsim.frame_bytes")
+                        .observe(frame.len() as u64);
                     // The AP tap traces the frame as transmitted, including
                     // ones the medium then drops (smoltcp convention).
                     let tx_time = self.now + delay;
@@ -272,7 +283,10 @@ impl Network {
                     let delivered = match self.faults.apply(&frame) {
                         Verdict::Deliver => Some(frame),
                         Verdict::DeliverOwned(data) => Some(data),
-                        Verdict::Drop => None,
+                        Verdict::Drop => {
+                            iotlan_telemetry::counter!("netsim.frames_dropped_fault").incr();
+                            None
+                        }
                     };
                     if let Some(data) = delivered {
                         self.seq += 1;
@@ -284,6 +298,7 @@ impl Network {
                     }
                 }
                 Action::Timer { delay, token } => {
+                    iotlan_telemetry::counter!("netsim.timers_set").incr();
                     let time = self.now + delay;
                     self.push_event(time, EventKind::Timer { node: node_id, token });
                 }
@@ -302,17 +317,24 @@ impl Network {
             // Broadcast medium: everyone but the sender hears it. The node
             // list is snapshotted by length so delivery allocates nothing.
             let count = self.nodes.len();
+            let mut fanout = 0u64;
             for id in 0..count {
                 if self.nodes[id].mac() == src {
                     continue;
                 }
+                fanout += 1;
                 self.dispatch(id, |node, ctx| node.on_frame(ctx, &frame));
             }
+            iotlan_telemetry::counter!("netsim.frames_delivered").add(fanout);
+            iotlan_telemetry::histogram!("netsim.multicast_fanout").observe(fanout);
         } else if let Some(&id) = self.by_mac.get(&dst) {
+            iotlan_telemetry::counter!("netsim.frames_delivered").incr();
             self.dispatch(id, |node, ctx| node.on_frame(ctx, &frame));
+        } else {
+            // Unicast to an unknown MAC: silently lost, like a real switch
+            // port with no station — but the loss is counted.
+            iotlan_telemetry::counter!("netsim.unicast_unrouted").incr();
         }
-        // Unicast to an unknown MAC: silently lost, like a real switch port
-        // with no station.
     }
 }
 

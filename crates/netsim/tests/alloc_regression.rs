@@ -36,24 +36,44 @@ fn frame_build_and_record_is_one_allocation() {
     let dst = endpoint(2);
     let payload = [0x5au8; 64];
 
-    // Size one frame, then pre-size the arena so record() stays within
-    // capacity for the whole loop (steady-state windowed captures run the
-    // same way: capacity is retained across drains).
+    // Size one frame so each pass below can pre-size its arena and
+    // record() stays within capacity for the whole loop (steady-state
+    // windowed captures run the same way: capacity is retained across
+    // drains).
     let sample = stack::udp_unicast(src, dst, 5000, 9999, &payload);
     let frame_len = sample.len();
     drop(sample);
-    let mut capture = Capture::new();
-    capture.reserve(FRAMES, FRAMES * frame_len);
 
-    let (allocations, ()) = count_allocations(|| {
-        for i in 0..FRAMES {
-            let frame = stack::udp_unicast(src, dst, 5000, 9999, &payload);
-            capture.record(SimTime::from_secs(i as u64), &frame);
-        }
-    });
+    // Telemetry metric handles register themselves (one leaked box plus a
+    // registry node) on first use; take that one-time cost here so the
+    // counted region below measures only the steady-state hot path, which
+    // records metrics without allocating.
+    let mut warmup = Capture::new();
+    warmup.record(SimTime::ZERO, &payload);
+    drop(warmup);
 
-    assert_eq!(capture.len(), FRAMES);
-    assert_eq!(capture.arena_bytes(), FRAMES * frame_len);
+    // The allocation counter is process-global and the libtest harness
+    // thread runs (and occasionally allocates) concurrently with the test
+    // body, so a single pass can pick up a couple of stray events. A real
+    // per-frame regression costs +FRAMES in *every* pass; harness noise is
+    // transient — so measure several passes and pin the minimum.
+    let allocations = (0..3)
+        .map(|_| {
+            let mut capture = Capture::new();
+            capture.reserve(FRAMES, FRAMES * frame_len);
+            let (allocations, ()) = count_allocations(|| {
+                for i in 0..FRAMES {
+                    let frame = stack::udp_unicast(src, dst, 5000, 9999, &payload);
+                    capture.record(SimTime::from_secs(i as u64), &frame);
+                }
+            });
+            assert_eq!(capture.len(), FRAMES);
+            assert_eq!(capture.arena_bytes(), FRAMES * frame_len);
+            allocations
+        })
+        .min()
+        .unwrap();
+
     assert_eq!(
         allocations,
         FRAMES as u64,

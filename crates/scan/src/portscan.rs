@@ -103,13 +103,50 @@ impl CatalogScan {
             .count();
         with as f64 / self.devices.len().max(1) as f64
     }
+
+    /// Run manifest for a completed scan campaign: the §4.2 aggregates
+    /// plus a content digest of the full per-device result table, so two
+    /// campaigns can be compared without diffing every port list.
+    pub fn campaign_manifest(&self) -> iotlan_telemetry::Manifest {
+        let mut manifest = iotlan_telemetry::Manifest::new("scan_campaign");
+        manifest.set("devices", self.devices.len());
+        manifest.set("unique_tcp_ports", self.unique_tcp_ports().len());
+        manifest.set("unique_udp_ports", self.unique_udp_ports().len());
+        manifest.set("devices_with_open_ports", self.devices_with_open_ports());
+        manifest.set("tcp_responders", self.tcp_responders());
+        manifest.set("udp_responders", self.udp_responders());
+        manifest.set("ip_proto_responders", self.ip_proto_responders());
+        let mut table = String::new();
+        for device in &self.devices {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                table,
+                "{} {} {} tcp={:?} udp={:?} r={}{}{}",
+                device.name,
+                device.mac,
+                device.ip,
+                device.open_tcp,
+                device.open_udp,
+                u8::from(device.responded_tcp),
+                u8::from(device.responded_udp),
+                u8::from(device.responded_ip_proto),
+            );
+        }
+        manifest.digest("scan_results.txt", table.as_bytes());
+        manifest.attach_metrics();
+        manifest.attach_host_info();
+        manifest
+    }
 }
 
 /// nmap semantics against one device's service table.
 pub fn probe_tcp_model(device: &DeviceConfig, port: u16) -> PortState {
+    iotlan_telemetry::counter!("scan.probes_tcp_model").incr();
     if device.open_tcp.iter().any(|s| s.port == port) {
+        iotlan_telemetry::counter!("scan.responses_open").incr();
         PortState::Open
     } else if device.scan_profile.responds_tcp {
+        iotlan_telemetry::counter!("scan.responses_closed").incr();
         PortState::Closed
     } else {
         PortState::Filtered
@@ -123,6 +160,8 @@ pub fn probe_tcp_model(device: &DeviceConfig, port: u16) -> PortState {
 /// ports plus one closed probe per device to decide responder status, so
 /// the full range is cheap.
 pub fn scan_catalog(catalog: &Catalog) -> CatalogScan {
+    let _span = iotlan_telemetry::span!("scan.catalog");
+    iotlan_telemetry::counter!("scan.devices_scanned").add(catalog.devices.len() as u64);
     let devices = catalog
         .devices
         .iter()
@@ -166,6 +205,7 @@ pub fn probe_tcp_wire(
     target: Endpoint,
     port: u16,
 ) -> PortState {
+    iotlan_telemetry::counter!("scan.probes_tcp_wire").incr();
     let scanner = scanner_endpoint();
     let probe_sport = 47000 + (port % 1000);
     let syn = tcp::Repr::syn(probe_sport, port, 0x5ca0_0000);
@@ -193,6 +233,7 @@ pub fn probe_tcp_wire(
 /// Drive a UDP probe through the simulator; true if any response (payload
 /// or ICMP unreachable) came back.
 pub fn probe_udp_wire(network: &mut Network, target: Endpoint, port: u16) -> bool {
+    iotlan_telemetry::counter!("scan.probes_udp_wire").incr();
     let scanner = scanner_endpoint();
     let before = network.capture.len();
     network.inject_frame(stack::udp_unicast(scanner, target, 47001, port, &[0u8; 8]));

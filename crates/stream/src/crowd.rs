@@ -58,12 +58,35 @@ impl IdentifierSpaceEstimate {
     pub fn state_bytes(&self) -> usize {
         self.names.state_bytes() + self.uuids.state_bytes() + self.macs.state_bytes()
     }
+
+    /// Run manifest for one crowd-scale estimation pass. The entropy bits
+    /// are stamped via their exact IEEE-754 bit patterns (alongside the
+    /// human-readable floats), so the byte-identity contract covers the
+    /// estimates themselves, not a rounded rendering of them.
+    pub fn manifest(&self, dataset: &Dataset, k: usize) -> iotlan_telemetry::Manifest {
+        let mut manifest = iotlan_telemetry::Manifest::new("crowd_estimate");
+        manifest.set("households", dataset.households.len());
+        manifest.set("sketch_k", k);
+        manifest.set("analyzed_devices", self.analyzed_devices);
+        manifest.set("state_bytes", self.state_bytes());
+        manifest.set("name_bits", self.name_bits());
+        manifest.set("uuid_bits", self.uuid_bits());
+        manifest.set("mac_bits", self.mac_bits());
+        manifest.set("name_bits_ieee", self.name_bits().to_bits());
+        manifest.set("uuid_bits_ieee", self.uuid_bits().to_bits());
+        manifest.set("mac_bits_ieee", self.mac_bits().to_bits());
+        manifest.attach_metrics();
+        manifest.attach_host_info();
+        manifest
+    }
 }
 
 /// Stream every household's discovery payloads into per-type KMV sketches
 /// of size `k`, in parallel over the pool, merging in household order.
 pub fn estimate_identifier_space(dataset: &Dataset, k: usize, seed: u64) -> IdentifierSpaceEstimate {
     let shards = pool::par_map(&dataset.households, |_, household| {
+        let _span = iotlan_telemetry::span!("crowd.household");
+        iotlan_telemetry::counter!("crowd.households").incr();
         let mut shard = IdentifierSpaceEstimate {
             names: Distinct::new(k, seed ^ 0x6e61),
             uuids: Distinct::new(k, seed ^ 0x7575),

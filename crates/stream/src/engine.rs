@@ -291,6 +291,7 @@ impl StreamEngine {
     /// Finish the pass and build the report. Fails only when pcap bytes
     /// were pushed and the image was malformed or truncated mid-record.
     pub fn finish(mut self) -> Result<StreamReport, iotlan_wire::Error> {
+        let _span = iotlan_telemetry::span!("stream.finish");
         if self.pcap_bytes_pushed > 0 {
             self.reader.finish()?;
         }
@@ -405,6 +406,7 @@ impl StreamEngine {
 
 impl FrameSink for StreamEngine {
     fn on_frame(&mut self, time: SimTime, data: &[u8]) {
+        iotlan_telemetry::counter!("stream.packets").incr();
         self.packets += 1;
         self.bytes += data.len() as u64;
         self.streamed_bytes += (FRAME_OVERHEAD + data.len()) as u64;
@@ -433,10 +435,12 @@ impl FrameSink for StreamEngine {
         pair[..6].copy_from_slice(&key.src_mac.0);
         pair[6..].copy_from_slice(&dst_mac.0);
         self.peer_pairs.insert(&pair);
+        iotlan_telemetry::counter!("stream.sketch_updates").add(2);
 
         // Sticky per-key state.
         let is_new = !self.keys.contains_key(&key);
         if is_new {
+            iotlan_telemetry::counter!("stream.flow_keys_created").incr();
             let multicast = dst_mac.is_multicast();
             let is_udp = matches!(key.transport, Transport::Udp | Transport::UdpV6);
             let graph_pair = if matches!(key.transport, Transport::Tcp | Transport::Udp)
@@ -659,6 +663,33 @@ impl StreamReport {
             })
             .collect();
         PeriodicityReport { groups }
+    }
+
+    /// Run manifest for a completed streaming pass: the bounded-memory
+    /// claims (peak state vs. streamed bytes), flow-table pressure, and
+    /// content digests of the rendered Fig. 1/2 artifacts. Everything in
+    /// the deterministic section is a pure function of the input capture,
+    /// so the manifest is byte-identical across thread counts.
+    pub fn manifest(&self, catalog: &Catalog) -> iotlan_telemetry::Manifest {
+        let mut manifest = iotlan_telemetry::Manifest::new("stream_pass");
+        manifest.set("packets", self.packets);
+        manifest.set("bytes", self.bytes);
+        manifest.set("streamed_bytes", self.streamed_bytes);
+        manifest.set("peak_state_bytes", self.peak_state_bytes);
+        manifest.set("flow_keys", self.flow_keys);
+        manifest.set("edges", self.edges.len());
+        manifest.set("observed_devices", self.observations.len());
+        manifest.set("discovery_records", self.records.len());
+        manifest.set("periodicity_groups", self.periodicity_groups.len());
+        manifest.set("periodicity_exact", self.periodicity_exact);
+        manifest.set("flows_retired", self.flows_retired);
+        manifest.set("records_dropped", self.records_dropped);
+        manifest.set("final_records", self.final_records.len());
+        manifest.digest("graph.txt", self.graph(catalog).render().as_bytes());
+        manifest.digest("prevalence.txt", self.prevalence(catalog).render().as_bytes());
+        manifest.attach_metrics();
+        manifest.attach_host_info();
+        manifest
     }
 
     /// Merge another shard's report into this one (call in input order so

@@ -243,6 +243,7 @@ impl StreamFlowTable {
             self.recency.remove(&seq);
             let flow = self.live.remove(&key).expect("stale key is live");
             self.retired += 1;
+            iotlan_telemetry::counter!("stream.flows_retired_idle").incr();
             sink.on_flow(flow.record);
         }
     }
@@ -252,6 +253,7 @@ impl StreamFlowTable {
             self.recency.remove(&seq);
             let flow = self.live.remove(&key).expect("LRU key is live");
             self.retired += 1;
+            iotlan_telemetry::counter!("stream.flows_retired_lru").incr();
             sink.on_flow(flow.record);
         }
     }

@@ -1,0 +1,98 @@
+//! The dual clock: simulated time inside the simulator, monotonic wall
+//! time outside.
+//!
+//! Telemetry records carry **both** stamps. The simulated stamp is a pure
+//! function of the seed, so it belongs to the deterministic view that must
+//! be byte-identical across thread counts and repeated runs; the wall
+//! stamp is host noise and is confined to the volatile view.
+//!
+//! The simulated clock is **thread-local** and scoped: the discrete-event
+//! loop (`iotlan_netsim::Network::run_until`) publishes the current event
+//! time while it dispatches and clears it when it returns. A worker thread
+//! that ran one lab and then picks up unrelated work therefore cannot leak
+//! a stale simulation stamp into it — outside a running simulation the
+//! simulated stamp is deterministically absent.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+thread_local! {
+    /// Current simulated time in microseconds, when a simulation is
+    /// dispatching on this thread.
+    static SIM_NOW: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Process-wide wall epoch: all wall stamps are nanoseconds since the
+/// first stamp taken, so they fit comfortably in a `u64`.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic wall-clock nanoseconds since the process's first stamp.
+pub fn wall_nanos() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Publish the simulated clock on this thread (the event loop calls this
+/// as it advances). Cheap: one thread-local store.
+#[inline]
+pub fn set_sim_micros(micros: u64) {
+    SIM_NOW.with(|now| now.set(Some(micros)));
+}
+
+/// Retract the simulated clock (the event loop returned to its caller).
+#[inline]
+pub fn clear_sim() {
+    SIM_NOW.with(|now| now.set(None));
+}
+
+/// The simulated time visible to this thread, if a simulation is running.
+#[inline]
+pub fn sim_micros() -> Option<u64> {
+    SIM_NOW.with(|now| now.get())
+}
+
+/// Scoped guard: publishes `micros` and restores the previous value on
+/// drop. For instrumented code that knows its own simulated time outside
+/// the event loop (e.g. phase boundaries).
+pub struct SimClockGuard {
+    previous: Option<u64>,
+}
+
+impl Drop for SimClockGuard {
+    fn drop(&mut self) {
+        SIM_NOW.with(|now| now.set(self.previous));
+    }
+}
+
+/// Enter a simulated-clock scope.
+pub fn sim_scope(micros: u64) -> SimClockGuard {
+    let previous = SIM_NOW.with(|now| now.replace(Some(micros)));
+    SimClockGuard { previous }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_is_scoped() {
+        assert_eq!(sim_micros(), None);
+        set_sim_micros(1234);
+        assert_eq!(sim_micros(), Some(1234));
+        {
+            let _scope = sim_scope(9999);
+            assert_eq!(sim_micros(), Some(9999));
+        }
+        assert_eq!(sim_micros(), Some(1234));
+        clear_sim();
+        assert_eq!(sim_micros(), None);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let a = wall_nanos();
+        let b = wall_nanos();
+        assert!(b >= a);
+    }
+}

@@ -24,10 +24,24 @@
 //! variable, then [`std::thread::available_parallelism`]. `IOTLAN_THREADS=1`
 //! runs everything inline on the calling thread — the serial reference the
 //! equivalence suite compares against.
+//!
+//! Two observability primitives ride on the same structure (DESIGN.md §9):
+//!
+//! * **Lanes** — every chunk executes inside a deterministic
+//!   `(region, slot)` lane ([`current_lane`]/[`lane_next_seq`]); telemetry
+//!   records tagged with `(lane, seq)` sort into one canonical order that
+//!   is independent of the thread count.
+//! * **Worker accounting** — per-slot chunk/task/steal/busy totals
+//!   ([`stats`]), merged once per worker per region, for run manifests.
+//!   Task counts are conserved (sum over workers == items mapped) at any
+//!   thread count; the per-slot *split* is scheduling-dependent and
+//!   reported as host-volatile data only.
 
 use crate::rng::Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Scoped thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -81,6 +95,171 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+// ---------------------------------------------------------------------------
+// Lane context: the deterministic coordinate system for telemetry.
+//
+// A *lane* is `(region, slot)`: `region` is a serial id handed out per
+// `par_map_range` call (in program order, so it is thread-count invariant),
+// and `slot` is the chunk index within that region (a pure function of the
+// input length). The calling thread outside any region sits on lane
+// `(0, 0)`. Code that records ordered artifacts from inside pool workers
+// (the telemetry trace buffers) tags each record with
+// `(current_lane(), lane_next_seq())`; sorting by that key reconstructs one
+// canonical order that cannot depend on which OS thread ran which chunk.
+
+thread_local! {
+    /// `((region, slot), next_seq)` for the current thread.
+    static LANE: Cell<((u64, u64), u32)> = const { Cell::new(((0, 0), 0)) };
+}
+
+/// Serial region-id source. Region 0 is the implicit "outside any region"
+/// lane of the calling thread; real regions start at 1.
+static REGION_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// The lane the current thread is recording into.
+pub fn current_lane() -> (u64, u64) {
+    LANE.with(|lane| lane.get().0)
+}
+
+/// Claim the next per-lane sequence number on this thread. Each lane is
+/// executed by exactly one thread, so the per-thread counter *is* the
+/// lane's emission order.
+pub fn lane_next_seq() -> u32 {
+    LANE.with(|lane| {
+        let (coords, seq) = lane.get();
+        lane.set((coords, seq + 1));
+        seq
+    })
+}
+
+/// RAII guard restoring the previous lane (and its sequence counter).
+pub struct LaneGuard {
+    previous: ((u64, u64), u32),
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        LANE.with(|lane| lane.set(self.previous));
+    }
+}
+
+/// Enter lane `(region, slot)` with a fresh sequence counter; the previous
+/// lane resumes (sequence intact) when the guard drops.
+pub fn enter_lane(region: u64, slot: u64) -> LaneGuard {
+    LANE.with(|lane| {
+        let previous = lane.get();
+        lane.set(((region, slot), 0));
+        LaneGuard { previous }
+    })
+}
+
+/// Reset the region counter and this thread's lane to the process-start
+/// state. Deterministic-telemetry tests call this (via
+/// `iotlan_telemetry::reset_all`) between repeated runs so region ids
+/// replay identically.
+pub fn reset_lane_state() {
+    REGION_COUNTER.store(1, Ordering::SeqCst);
+    LANE.with(|lane| lane.set(((0, 0), 0)));
+}
+
+// ---------------------------------------------------------------------------
+// Worker accounting: who did how much work, and how it was claimed.
+
+/// Cumulative per-worker-slot accounting.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Chunks this worker slot claimed.
+    pub chunks: u64,
+    /// Items (tasks) this worker slot executed.
+    pub tasks: u64,
+    /// Chunks claimed out of round-robin order — chunk `i` "belongs" to
+    /// slot `i % workers`; claiming someone else's chunk is a steal.
+    pub steals: u64,
+    /// Wall-clock nanoseconds spent executing chunks (not parked).
+    pub busy_nanos: u64,
+}
+
+impl WorkerStats {
+    fn absorb(&mut self, other: &WorkerStats) {
+        self.chunks += other.chunks;
+        self.tasks += other.tasks;
+        self.steals += other.steals;
+        self.busy_nanos += other.busy_nanos;
+    }
+}
+
+/// Cumulative pool accounting since process start (or the last
+/// [`reset_stats`]). Indexed by worker *slot*, not OS thread: slot `w` of a
+/// 4-worker region and slot `w` of a later 8-worker region accumulate into
+/// the same entry.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel regions executed (every `par_map*` call is one region,
+    /// including ones that ran inline).
+    pub regions: u64,
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    pub fn total_chunks(&self) -> u64 {
+        self.workers.iter().map(|w| w.chunks).sum()
+    }
+
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    pub fn total_busy_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_nanos).sum()
+    }
+
+    fn absorb_slot(&mut self, slot: usize, stats: &WorkerStats) {
+        if self.workers.len() <= slot {
+            self.workers.resize(slot + 1, WorkerStats::default());
+        }
+        self.workers[slot].absorb(stats);
+    }
+}
+
+static STATS: Mutex<PoolStats> = Mutex::new(PoolStats {
+    regions: 0,
+    workers: Vec::new(),
+});
+
+fn stats_lock() -> MutexGuard<'static, PoolStats> {
+    match STATS.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Snapshot the cumulative worker accounting.
+pub fn stats() -> PoolStats {
+    stats_lock().clone()
+}
+
+/// Zero the cumulative worker accounting.
+pub fn reset_stats() {
+    *stats_lock() = PoolStats::default();
+}
+
+/// Count one parallel region (called once per `par_map_range`, on the
+/// caller).
+fn note_region() {
+    stats_lock().regions += 1;
+}
+
+/// Merge one worker slot's region stats into the cumulative accounting.
+/// Each worker merges exactly once, after its claim loop ends, so the
+/// mutex is touched O(workers) times per region — never per item.
+fn merge_worker_stats(slot: usize, worker: &WorkerStats) {
+    stats_lock().absorb_slot(slot, worker);
+}
+
 /// Chunk size for an input of `len` items: a pure function of `len` —
 /// never of the thread count, or chunk boundaries would move with it.
 ///
@@ -90,6 +269,18 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 /// just enough to bound per-chunk claim overhead at [`MAX_CHUNKS`].
 fn chunk_size(len: usize) -> usize {
     len.div_ceil(MAX_CHUNKS).max(1)
+}
+
+/// Number of chunks a `len`-item region schedules — like [`chunk_size`], a
+/// pure function of the length, never the thread count. Exposed so the
+/// worker-accounting invariants (chunk conservation across workers) can be
+/// asserted externally.
+pub fn chunk_count(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        len.div_ceil(chunk_size(len))
+    }
 }
 
 /// `f(0), f(1), …, f(n-1)` evaluated across the pool, results in index
@@ -104,8 +295,30 @@ where
 {
     let threads = thread_count();
     let chunk = chunk_size(n);
+    // The region id is claimed serially on the caller, before any worker
+    // runs: region numbering is program order, never scheduling order.
+    let region = REGION_COUNTER.fetch_add(1, Ordering::Relaxed);
+    note_region();
     if threads <= 1 || n <= chunk {
-        return (0..n).map(f).collect();
+        // Inline path: same chunk walk as the threaded path (identical
+        // lanes, so telemetry recorded here merges byte-identically), all
+        // chunks executed by worker slot 0.
+        let mut results = Vec::with_capacity(n);
+        let mut worker = WorkerStats::default();
+        let started = Instant::now();
+        for chunk_index in 0..n.div_ceil(chunk) {
+            let _lane = enter_lane(region, chunk_index as u64);
+            let base = chunk_index * chunk;
+            let end = (base + chunk).min(n);
+            for index in base..end {
+                results.push(f(index));
+            }
+            worker.chunks += 1;
+            worker.tasks += (end - base) as u64;
+        }
+        worker.busy_nanos = started.elapsed().as_nanos() as u64;
+        merge_worker_stats(0, &worker);
+        return results;
     }
 
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -118,20 +331,35 @@ where
         let next = AtomicUsize::new(0);
         let workers = threads.min(slots.len());
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(slot) = slots.get(index) else { break };
-                    let mut guard = match slot.lock() {
-                        Ok(guard) => guard,
-                        // A sibling worker panicked while holding nothing of
-                        // ours; poisoning is irrelevant to the slice.
-                        Err(poisoned) => poisoned.into_inner(),
-                    };
-                    let base = index * chunk;
-                    for (offset, out) in guard.iter_mut().enumerate() {
-                        *out = Some(f(base + offset));
+            for worker_slot in 0..workers {
+                let slots = &slots;
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut worker = WorkerStats::default();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(index) else { break };
+                        let mut guard = match slot.lock() {
+                            Ok(guard) => guard,
+                            // A sibling worker panicked while holding nothing of
+                            // ours; poisoning is irrelevant to the slice.
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        let started = Instant::now();
+                        let _lane = enter_lane(region, index as u64);
+                        let base = index * chunk;
+                        for (offset, out) in guard.iter_mut().enumerate() {
+                            *out = Some(f(base + offset));
+                        }
+                        worker.chunks += 1;
+                        worker.tasks += guard.len() as u64;
+                        if index % workers != worker_slot {
+                            worker.steals += 1;
+                        }
+                        worker.busy_nanos += started.elapsed().as_nanos() as u64;
                     }
+                    merge_worker_stats(worker_slot, &worker);
                 });
             }
         });
@@ -310,6 +538,72 @@ mod tests {
     fn with_threads_restores_on_panic() {
         let _ = std::panic::catch_unwind(|| with_threads(3, || panic!("x")));
         assert_eq!(THREAD_OVERRIDE.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn lanes_merge_identically_across_thread_counts() {
+        // Records tagged (lane, seq) and sorted must be byte-identical for
+        // any worker count — the contract the telemetry tracer builds on.
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let records = Mutex::new(Vec::new());
+                let _ = par_map_range(700, |i| {
+                    let lane = current_lane();
+                    let seq = lane_next_seq();
+                    records.lock().unwrap().push((lane, seq, i));
+                });
+                let mut records = records.into_inner().unwrap();
+                records.sort();
+                records
+            })
+        };
+        let sorted_one = run(1);
+        // Relabel regions: each run claims fresh region ids, so compare
+        // shapes with the region offset removed.
+        let normalize = |records: &[((u64, u64), u32, usize)]| {
+            let base = records.first().map(|((r, _), _, _)| *r).unwrap_or(0);
+            records
+                .iter()
+                .map(|((r, s), q, i)| ((r - base, *s), *q, *i))
+                .collect::<Vec<_>>()
+        };
+        let base = normalize(&sorted_one);
+        for threads in [2, 8] {
+            assert_eq!(normalize(&run(threads)), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_stats_conserve_tasks() {
+        for threads in [1, 3, 8] {
+            with_threads(threads, || {
+                reset_stats();
+                let _ = par_map_range(5000, |i| i);
+                let stats = stats();
+                assert_eq!(stats.regions, 1);
+                assert_eq!(stats.total_tasks(), 5000, "threads={threads}");
+                assert_eq!(
+                    stats.total_chunks(),
+                    5000u64.div_ceil(chunk_size(5000) as u64),
+                    "threads={threads}"
+                );
+                assert!(stats.workers.len() <= threads.max(1));
+            });
+        }
+    }
+
+    #[test]
+    fn lane_guard_restores_outer_lane_and_seq() {
+        LANE.with(|lane| lane.set(((0, 0), 0)));
+        let outer_seq = lane_next_seq();
+        {
+            let _guard = enter_lane(42, 7);
+            assert_eq!(current_lane(), (42, 7));
+            assert_eq!(lane_next_seq(), 0, "fresh lane starts at seq 0");
+            assert_eq!(lane_next_seq(), 1);
+        }
+        assert_eq!(current_lane(), (0, 0));
+        assert_eq!(lane_next_seq(), outer_seq + 1, "outer seq resumes");
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Property checks for the pool's worker accounting.
+//!
+//! These live in their own test binary: [`pool::stats`] is process-global,
+//! and a concurrent `par_map` from an unrelated test would break the exact
+//! conservation counts below. Within this binary a mutex serializes the
+//! properties, so every reset/run/read window observes only its own work.
+
+use iotlan_util::pool;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn stats_test_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+iotlan_util::props! {
+    /// Task conservation: every scheduled item is executed by exactly one
+    /// worker, so the per-worker task tallies sum to the input length —
+    /// at any (length, thread count), with no items lost or double-run.
+    fn worker_tasks_conserve_input_length(g) {
+        let _guard = stats_test_guard();
+        let n = g.len(500);
+        let threads = g.int_in(1..=8usize);
+        let regions = 1 + g.int_in(0..3usize);
+        pool::with_threads(threads, || {
+            pool::reset_stats();
+            for _ in 0..regions {
+                pool::par_map_range(n, |i| i.wrapping_mul(7));
+            }
+            let stats = pool::stats();
+            assert_eq!(stats.regions, regions as u64);
+            let tasks: u64 = stats.workers.iter().map(|w| w.tasks).sum();
+            assert_eq!(
+                tasks,
+                (regions * n) as u64,
+                "worker task tallies must sum to the scheduled item count"
+            );
+            let chunks: u64 = stats.workers.iter().map(|w| w.chunks).sum();
+            let expected_chunks = if n == 0 { 0 } else { pool::chunk_count(n) };
+            assert_eq!(chunks, (regions * expected_chunks) as u64);
+        });
+    }
+
+    /// Merge-order invariance: the accounting *totals* are a pure function
+    /// of the scheduled work — identical whether one worker ran everything
+    /// or eight raced over the chunk queue, and identical run-to-run even
+    /// though which worker claimed which chunk is scheduling noise.
+    fn worker_stat_totals_are_thread_count_invariant(g) {
+        let _guard = stats_test_guard();
+        let n = 1 + g.len(500);
+        let threads = g.int_in(2..=8usize);
+        let totals = |t: usize| {
+            pool::with_threads(t, || {
+                pool::reset_stats();
+                pool::par_map_range(n, |i| i.wrapping_add(1));
+                let stats = pool::stats();
+                (
+                    stats.regions,
+                    stats.workers.iter().map(|w| w.tasks).sum::<u64>(),
+                    stats.workers.iter().map(|w| w.chunks).sum::<u64>(),
+                )
+            })
+        };
+        let serial = totals(1);
+        let parallel = totals(threads);
+        let repeat = totals(threads);
+        assert_eq!(serial, parallel, "totals depend only on the work");
+        assert_eq!(parallel, repeat, "totals are stable run-to-run");
+    }
+}

@@ -7,12 +7,51 @@
 //! and opened in Wireshark.
 
 use crate::{Error, Result};
+use core::fmt;
 
 const MAGIC_LE: u32 = 0xa1b2_c3d4;
 const MAGIC_BE: u32 = 0xd4c3_b2a1;
 const VERSION_MAJOR: u16 = 2;
 const VERSION_MINOR: u16 = 4;
 const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Hard ceiling on a record's `incl_len` — tcpdump's `MAXIMUM_SNAPLEN`.
+/// A garbage length field (from a corrupt or adversarial file) would
+/// otherwise make the reader buffer gigabytes waiting for a "record" that
+/// never completes; anything above this is diagnosed as malformed
+/// immediately instead.
+pub const MAX_INCL_LEN: usize = 262_144;
+
+/// A pcap stream-parse failure, located in the input.
+///
+/// Wraps the protocol-level [`Error`] with the absolute byte offset where
+/// the problem lies and a note on what the reader was parsing. Converts
+/// into the plain [`Error`] via `From` (dropping the location), so callers
+/// that only route on the error kind — including `?` in functions returning
+/// `Result<_, Error>` — are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamError {
+    /// The protocol-level error kind.
+    pub kind: Error,
+    /// Absolute byte offset into the pcap stream where the problem lies.
+    pub offset: u64,
+    /// What the reader was parsing when it failed.
+    pub context: &'static str,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {} ({})", self.kind, self.offset, self.context)
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<StreamError> for Error {
+    fn from(error: StreamError) -> Error {
+        error.kind
+    }
+}
 
 /// One captured packet: a timestamp and the raw frame bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,14 +123,17 @@ pub fn write_pcap_refs(packets: &[(u32, u32, &[u8])]) -> Vec<u8> {
 /// split — a chunk boundary landing mid-header or mid-record simply makes
 /// [`next_packet`] return `Ok(None)` until more bytes arrive.
 ///
-/// Error semantics match [`read_pcap`] exactly (the batch function is a
-/// thin wrapper over this type, so the two parsers cannot diverge):
+/// Errors are [`StreamError`]s carrying the byte offset of the fault; the
+/// kinds match [`read_pcap`] exactly (the batch function is a thin wrapper
+/// over this type, so the two parsers cannot diverge):
 ///
-/// * [`Error::Malformed`] — bad magic, raised as soon as the 24-byte global
-///   header is complete;
-/// * [`Error::Unsupported`] — a non-Ethernet linktype;
+/// * [`Error::Malformed`] — bad magic (offset 0), or a record whose
+///   `incl_len` exceeds [`MAX_INCL_LEN`] (offset of the length field);
+/// * [`Error::Unsupported`] — a non-Ethernet linktype (offset of the
+///   linktype field);
 /// * [`Error::Truncated`] — raised only by [`finish`], when the input ends
-///   mid-header or mid-record. A chunk boundary there is *not* an error.
+///   mid-header or mid-record (offset where the incomplete object began).
+///   A chunk boundary there is *not* an error.
 ///
 /// [`push`]: PcapStreamReader::push
 /// [`next_packet`]: PcapStreamReader::next_packet
@@ -101,10 +143,13 @@ pub struct PcapStreamReader {
     buffer: Vec<u8>,
     /// Bytes of `buffer` already consumed (reclaimed lazily).
     consumed: usize,
+    /// Absolute stream offset of the first unconsumed byte — the running
+    /// total of consumed bytes, immune to buffer compaction.
+    absolute: u64,
     /// Set once the 24-byte global header has been parsed.
     big_endian: Option<bool>,
     /// A sticky header error: once raised, every later call re-raises it.
-    error: Option<Error>,
+    error: Option<StreamError>,
     packets_parsed: u64,
 }
 
@@ -133,16 +178,34 @@ impl PcapStreamReader {
         self.buffer.len() - self.consumed
     }
 
+    /// Absolute stream offset of the next byte to be parsed — where the
+    /// in-progress header or record begins.
+    pub fn stream_offset(&self) -> u64 {
+        self.absolute
+    }
+
     fn pending(&self) -> &[u8] {
         &self.buffer[self.consumed..]
     }
 
     fn consume(&mut self, n: usize) {
         self.consumed += n;
+        self.absolute += n as u64;
         if self.consumed >= COMPACT_THRESHOLD && self.consumed * 2 >= self.buffer.len() {
             self.buffer.drain(..self.consumed);
             self.consumed = 0;
         }
+    }
+
+    /// Raise a sticky, located error.
+    fn fail(&mut self, kind: Error, offset: u64, context: &'static str) -> StreamError {
+        let error = StreamError {
+            kind,
+            offset,
+            context,
+        };
+        self.error = Some(error);
+        error
     }
 
     fn read_u32(&self, bytes: &[u8]) -> u32 {
@@ -158,7 +221,7 @@ impl PcapStreamReader {
     ///
     /// `Ok(None)` means "need more input" — call [`push`][Self::push] with
     /// the next chunk, or [`finish`][Self::finish] if the stream is done.
-    pub fn next_packet(&mut self) -> Result<Option<PcapPacket>> {
+    pub fn next_packet(&mut self) -> core::result::Result<Option<PcapPacket>, StreamError> {
         if let Some(error) = self.error {
             return Err(error);
         }
@@ -172,16 +235,18 @@ impl PcapStreamReader {
                 MAGIC_LE => false,
                 MAGIC_BE => true,
                 _ => {
-                    self.error = Some(Error::Malformed);
-                    return Err(Error::Malformed);
+                    return Err(self.fail(Error::Malformed, 0, "pcap global header magic"));
                 }
             };
             self.big_endian = Some(big_endian);
             let linktype = self.read_u32(&self.pending()[20..24]);
             if linktype != LINKTYPE_ETHERNET {
                 self.big_endian = None;
-                self.error = Some(Error::Unsupported);
-                return Err(Error::Unsupported);
+                return Err(self.fail(
+                    Error::Unsupported,
+                    20,
+                    "pcap linktype (only LINKTYPE_ETHERNET is supported)",
+                ));
             }
             self.consume(24);
         }
@@ -190,6 +255,14 @@ impl PcapStreamReader {
             return Ok(None);
         }
         let incl_len = self.read_u32(&pending[8..12]) as usize;
+        if incl_len > MAX_INCL_LEN {
+            let offset = self.absolute + 8;
+            return Err(self.fail(
+                Error::Malformed,
+                offset,
+                "record incl_len exceeds MAX_INCL_LEN",
+            ));
+        }
         if pending.len() < 16 + incl_len {
             return Ok(None);
         }
@@ -205,13 +278,25 @@ impl PcapStreamReader {
 
     /// Declare end-of-input. Errors with [`Error::Truncated`] when the
     /// stream stopped mid-header or mid-record — the *only* place truncation
-    /// is diagnosed, so chunk boundaries can never masquerade as it.
-    pub fn finish(&self) -> Result<()> {
+    /// is diagnosed, so chunk boundaries can never masquerade as it. The
+    /// reported offset is where the incomplete object began.
+    pub fn finish(&self) -> core::result::Result<(), StreamError> {
         if let Some(error) = self.error {
             return Err(error);
         }
-        if self.big_endian.is_none() || self.buffered_bytes() > 0 {
-            return Err(Error::Truncated);
+        if self.big_endian.is_none() {
+            return Err(StreamError {
+                kind: Error::Truncated,
+                offset: self.absolute,
+                context: "stream ended inside the 24-byte global header",
+            });
+        }
+        if self.buffered_bytes() > 0 {
+            return Err(StreamError {
+                kind: Error::Truncated,
+                offset: self.absolute,
+                context: "stream ended mid-record",
+            });
         }
         Ok(())
     }
@@ -344,7 +429,7 @@ mod tests {
         reader.push(&image[..30]);
         assert_eq!(reader.next_packet().unwrap(), None);
         // Only finish() diagnoses truncation.
-        assert_eq!(reader.finish().unwrap_err(), Error::Truncated);
+        assert_eq!(reader.finish().unwrap_err().kind, Error::Truncated);
         // …and feeding the rest recovers completely.
         reader.push(&image[30..]);
         assert!(reader.next_packet().unwrap().is_some());
@@ -360,9 +445,9 @@ mod tests {
         image[0] = 0;
         let mut reader = PcapStreamReader::new();
         reader.push(&image);
-        assert_eq!(reader.next_packet().unwrap_err(), Error::Malformed);
-        assert_eq!(reader.next_packet().unwrap_err(), Error::Malformed);
-        assert_eq!(reader.finish().unwrap_err(), Error::Malformed);
+        assert_eq!(reader.next_packet().unwrap_err().kind, Error::Malformed);
+        assert_eq!(reader.next_packet().unwrap_err().kind, Error::Malformed);
+        assert_eq!(reader.finish().unwrap_err().kind, Error::Malformed);
     }
 
     #[test]
@@ -382,7 +467,82 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(result.unwrap_err(), Error::Unsupported);
+        let error = result.unwrap_err();
+        assert_eq!(error.kind, Error::Unsupported);
+        assert_eq!(error.offset, 20, "points at the linktype field");
+    }
+
+    #[test]
+    fn truncation_mid_global_header_reports_offset_zero() {
+        let image = write_pcap(&sample_packets());
+        let mut reader = PcapStreamReader::new();
+        reader.push(&image[..10]);
+        assert_eq!(reader.next_packet().unwrap(), None);
+        let error = reader.finish().unwrap_err();
+        assert_eq!(error.kind, Error::Truncated);
+        assert_eq!(error.offset, 0, "the incomplete object is the global header");
+        assert!(error.context.contains("global header"), "{}", error.context);
+    }
+
+    #[test]
+    fn truncation_mid_record_reports_record_start_offset() {
+        let packets = sample_packets();
+        let image = write_pcap(&packets);
+        // Record 2 starts after the 24-byte global header plus record 1
+        // (16-byte header + 60-byte frame).
+        let record2_start = 24 + 16 + packets[0].data.len() as u64;
+        let mut reader = PcapStreamReader::new();
+        reader.push(&image[..image.len() - 1]);
+        while reader.next_packet().unwrap().is_some() {}
+        let error = reader.finish().unwrap_err();
+        assert_eq!(error.kind, Error::Truncated);
+        assert_eq!(error.offset, record2_start);
+        assert!(error.context.contains("mid-record"), "{}", error.context);
+        assert_eq!(reader.stream_offset(), record2_start);
+    }
+
+    #[test]
+    fn bad_magic_reports_offset_zero_with_context() {
+        let mut image = write_pcap(&sample_packets());
+        image[0] = 0;
+        let mut reader = PcapStreamReader::new();
+        reader.push(&image);
+        let error = reader.next_packet().unwrap_err();
+        assert_eq!(error.kind, Error::Malformed);
+        assert_eq!(error.offset, 0);
+        assert!(error.context.contains("magic"), "{}", error.context);
+        // The rendered message carries the location for operators.
+        assert_eq!(error.to_string(), "malformed packet at byte 0 (pcap global header magic)");
+    }
+
+    #[test]
+    fn garbage_incl_len_is_malformed_not_a_silent_stall() {
+        let packets = sample_packets();
+        let mut image = write_pcap(&packets);
+        // Overwrite record 1's incl_len with garbage far beyond any sane
+        // snaplen; without the cap the reader would buffer forever waiting
+        // for a 4 GiB "record".
+        image[24 + 8..24 + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = PcapStreamReader::new();
+        reader.push(&image);
+        let error = reader.next_packet().unwrap_err();
+        assert_eq!(error.kind, Error::Malformed);
+        assert_eq!(error.offset, 24 + 8, "points at the incl_len field");
+        assert!(error.context.contains("incl_len"), "{}", error.context);
+        // Sticky, like every other stream error.
+        assert_eq!(reader.finish().unwrap_err().kind, Error::Malformed);
+        // The batch wrapper surfaces the same fault as a plain Error.
+        assert_eq!(read_pcap(&image).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn stream_error_converts_to_plain_error() {
+        let error = StreamError {
+            kind: Error::Truncated,
+            offset: 99,
+            context: "x",
+        };
+        assert_eq!(Error::from(error), Error::Truncated);
     }
 
     #[test]

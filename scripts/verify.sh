@@ -21,6 +21,13 @@
 #    {"type":"throughput",...} packet-rate / peak-state lines
 # 8. frame-pipeline smoke: perf_frames in --quick mode must emit its
 #    {"type":"speedup",...} legacy-vs-zero-copy comparison line
+# 9. telemetry smoke: perf_telemetry in --quick mode must emit its
+#    {"type":"overhead",...} enabled-vs-disabled comparison lines
+# 10. observability: the observability example must write run manifests
+#     under target/manifests/, and scripts/trace_report.sh must render the
+#     per-phase timing summary from them
+# 11. mojibake guard: no U+FFFD replacement characters anywhere in the
+#     tracked tree (a mangled-encoding canary)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -72,6 +79,28 @@ frames_out=$(cargo bench -p iotlan-bench --bench perf_frames --offline -- --quic
 printf '%s\n' "$frames_out"
 if ! printf '%s\n' "$frames_out" | grep -q '^{"type":"speedup"'; then
     echo "verify: FAIL — perf_frames emitted no speedup JSON lines" >&2
+    exit 1
+fi
+
+echo "==> telemetry smoke: perf_telemetry --quick"
+telemetry_out=$(cargo bench -p iotlan-bench --bench perf_telemetry --offline -- --quick)
+printf '%s\n' "$telemetry_out"
+if ! printf '%s\n' "$telemetry_out" | grep -q '^{"type":"overhead"'; then
+    echo "verify: FAIL — perf_telemetry emitted no overhead JSON lines" >&2
+    exit 1
+fi
+
+echo "==> observability manifests + per-phase timing summary"
+cargo run -q --release --offline --example observability
+if [ ! -f target/manifests/lab.json ]; then
+    echo "verify: FAIL — observability example wrote no lab manifest" >&2
+    exit 1
+fi
+./scripts/trace_report.sh
+
+echo "==> mojibake guard (U+FFFD)"
+if grep -rIl "$(printf '\357\277\275')" --exclude-dir=target --exclude-dir=.git . ; then
+    echo "verify: FAIL — U+FFFD replacement characters found in the tree" >&2
     exit 1
 fi
 
